@@ -1,0 +1,36 @@
+"""Section 7.6: area and power of FADE and the MD cache at 40 nm / 2 GHz.
+
+Paper reference: FADE logic 0.09 mm2 / 122 mW peak; 4 KB MD cache 0.03 mm2 /
+151 mW peak with a 0.3 ns access; 0.12 mm2 / 273 mW total.
+"""
+
+from benchmarks.common import record
+from repro.analysis import area_power, format_table
+
+
+def test_area_power(benchmark):
+    report = benchmark.pedantic(area_power, rounds=1, iterations=1)
+    rows = [
+        ["FADE logic", report["fade_logic"]["area_mm2"],
+         report["fade_logic"]["peak_power_mw"]],
+        ["MD cache", report["md_cache"]["area_mm2"],
+         report["md_cache"]["peak_power_mw"]],
+        ["total", report["total"]["area_mm2"], report["total"]["peak_power_mw"]],
+    ]
+    component_rows = [
+        [name, values["area_um2"], values["power_mw"]]
+        for name, values in report["components"].items()
+    ]
+    record(
+        "area_power",
+        format_table(["block", "area mm2", "peak mW"], rows,
+                     "Section 7.6: area and peak power (40 nm, 2 GHz)")
+        + "\n\n"
+        + format_table(["component", "area um2", "power mW"], component_rows,
+                       "FADE component inventory"),
+    )
+    assert abs(report["fade_logic"]["area_mm2"] - 0.09) < 0.015
+    assert abs(report["fade_logic"]["peak_power_mw"] - 122) < 20
+    assert abs(report["md_cache"]["area_mm2"] - 0.03) < 0.008
+    assert abs(report["md_cache"]["peak_power_mw"] - 151) < 25
+    assert abs(report["md_cache"]["access_latency_ns"] - 0.3) < 0.06

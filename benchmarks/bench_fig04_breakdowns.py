@@ -1,0 +1,68 @@
+"""Figure 4: (a) monitor execution-time breakdown, (b) distances between
+unfiltered events, (c) unfiltered burst sizes.
+
+Paper reference points: instructions dominate handler time with stack
+updates up to ~17% for some monitors; unfiltered events are typically within
+16 filterable events of each other; bursts average 16 or fewer unfiltered
+events for most monitor/benchmark pairs.
+"""
+
+from benchmarks.common import BENCH_SETTINGS, record
+from repro.analysis import fig4_breakdowns, format_table
+
+
+def _render(data) -> str:
+    parts = []
+    classes = ["cc", "ru", "update", "complex", "stack", "high-level"]
+    rows = [
+        [monitor] + [shares.get(cls, 0.0) for cls in classes]
+        for monitor, shares in data["time_breakdown"].items()
+    ]
+    parts.append(
+        format_table(
+            ["monitor"] + classes,
+            rows,
+            "Figure 4(a): software handler time breakdown (%)",
+        )
+    )
+    distance_rows = []
+    for bench, cdf in data["distance_cdf"].items():
+        within16 = next((pct for value, pct in cdf if value >= 16), 100.0)
+        distance_rows.append([bench, within16])
+    parts.append(
+        format_table(
+            ["benchmark", "% unfiltered within 16 events of previous"],
+            distance_rows,
+            "Figure 4(b): MemLeak distance between unfiltered events",
+        )
+    )
+    burst_rows = [
+        [monitor] + [f"{size:.1f}" for size in bursts.values()]
+        for monitor, bursts in data["burst_sizes"].items()
+    ]
+    parts.append(
+        format_table(
+            ["monitor", *["b%d" % i for i in range(1, 9)]][: 1 + max(
+                len(b) for b in data["burst_sizes"].values()
+            )],
+            burst_rows,
+            "Figure 4(c): average unfiltered burst size (unfiltered events)",
+        )
+    )
+    return "\n\n".join(parts)
+
+
+def test_fig4_breakdowns(benchmark):
+    data = benchmark.pedantic(
+        fig4_breakdowns, args=(BENCH_SETTINGS,), rounds=1, iterations=1
+    )
+    record("fig04_breakdowns", _render(data))
+    # Shape: filterable work (CC+RU) dominates every monitor's handler time,
+    # which is the entire premise of filtering acceleration.
+    for monitor, shares in data["time_breakdown"].items():
+        filterable = shares.get("cc", 0.0) + shares.get("ru", 0.0)
+        assert filterable > 25.0, f"{monitor}: {shares}"
+    # MemLeak unfiltered events cluster: most lie within 16 filterables.
+    for bench, cdf in data["distance_cdf"].items():
+        within16 = next((pct for value, pct in cdf if value >= 16), 100.0)
+        assert within16 > 50.0, f"{bench}: {within16}"

@@ -1,0 +1,44 @@
+"""Figure 10: sensitivity to the core microarchitecture.
+
+Paper reference points: unaccelerated monitoring degrades by 7-51% on
+simpler cores (handlers run up to 3x faster on the 4-way OoO); FADE-enabled
+systems are largely insensitive to the core type, and MemCheck is even
+slightly *better* on the in-order core.
+"""
+
+from benchmarks.common import BENCH_SETTINGS, record
+from repro.analysis import fig10_core_types, format_table
+from repro.cores import CoreType
+
+
+def test_fig10_core_types(benchmark):
+    data = benchmark.pedantic(
+        fig10_core_types, args=(BENCH_SETTINGS,), rounds=1, iterations=1
+    )
+    rows = []
+    for monitor_name, per_core in data.items():
+        for core_label, values in per_core.items():
+            rows.append(
+                [monitor_name, core_label, values["unaccelerated"], values["fade"]]
+            )
+    record(
+        "fig10_core_types",
+        format_table(
+            ["monitor", "core", "unaccelerated", "FADE"],
+            rows,
+            "Figure 10: gmean slowdown per core type (single-core system)",
+        ),
+    )
+    for monitor_name, per_core in data.items():
+        fade_values = [values["fade"] for values in per_core.values()]
+        # FADE's slowdown varies far less across cores than the spread of
+        # the unaccelerated system (insensitivity claim, Section 7.3).
+        fade_spread = max(fade_values) / min(fade_values)
+        assert fade_spread < 2.0, f"{monitor_name}: FADE spread {fade_spread}"
+    # Unaccelerated monitoring prefers the aggressive core.
+    for monitor_name in ("memleak", "taintcheck"):
+        per_core = data[monitor_name]
+        assert (
+            per_core[CoreType.OOO4.value]["unaccelerated"]
+            <= per_core[CoreType.INORDER.value]["unaccelerated"] * 1.05
+        )

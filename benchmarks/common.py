@@ -1,0 +1,29 @@
+"""Shared settings and result recording for the benchmark harness.
+
+Each ``bench_*`` file regenerates one of the paper's tables or figures and
+writes the formatted rows to ``results/<name>.txt`` in addition to timing
+the regeneration under pytest-benchmark.  Traces and retire schedules are
+cached across benches (same settings), so the timed work is the simulation
+itself.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.analysis import ExperimentSettings
+
+#: Shared experiment scale for the bench suite.  Larger values sharpen the
+#: statistics at proportional cost; the shapes are stable from ~10k up.
+BENCH_SETTINGS = ExperimentSettings(num_instructions=12_000, seed=7)
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def record(name: str, text: str) -> str:
+    """Write an experiment's formatted output under results/ and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")
+    return text

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Design-space exploration: core types, topologies, queue and cache sizing.
+
+Sweeps the main design axes of the paper's evaluation for one monitor and
+prints a compact comparison table — the kind of study a deployment would run
+before committing to a configuration.
+
+Run:  python examples/design_space.py
+"""
+
+from repro import CoreType, SystemConfig, Topology, create_monitor, generate_trace, get_profile
+from repro.analysis import format_table
+from repro.fade.md_cache import MetadataCacheConfig
+from repro.system.simulator import simulate_warmed
+
+BENCHMARK = "omnetpp"
+MONITOR = "memleak"
+INSTRUCTIONS = 16_000
+
+
+def run(**config_kwargs):
+    profile = get_profile(BENCHMARK)
+    trace = generate_trace(profile, INSTRUCTIONS, seed=3)
+    config = SystemConfig(**config_kwargs)
+    result = simulate_warmed(trace, create_monitor(MONITOR), config, profile)
+    return result
+
+
+def main() -> None:
+    print(f"== Design space for {MONITOR} on {BENCHMARK} ==\n")
+
+    rows = []
+    for core in (CoreType.INORDER, CoreType.OOO2, CoreType.OOO4):
+        for fade_on in (False, True):
+            result = run(core_type=core, fade_enabled=fade_on)
+            rows.append(
+                [core.value, "FADE" if fade_on else "unaccel", result.slowdown]
+            )
+    print(format_table(["core", "system", "slowdown"], rows,
+                       "Core microarchitecture (Figure 10 axis)"))
+
+    rows = []
+    for topology in (Topology.SINGLE_CORE_SMT, Topology.TWO_CORE):
+        for non_blocking in (False, True):
+            result = run(
+                topology=topology, fade_enabled=True, non_blocking=non_blocking
+            )
+            rows.append(
+                [topology.value,
+                 "non-blocking" if non_blocking else "blocking",
+                 result.slowdown]
+            )
+    print()
+    print(format_table(["topology", "filtering", "slowdown"], rows,
+                       "Topology x Non-Blocking (Figure 11 axes)"))
+
+    rows = []
+    for event_capacity in (8, 32, 128):
+        result = run(fade_enabled=True, event_queue_capacity=event_capacity)
+        occupancy = result.event_queue_stats.max_occupancy
+        rows.append([event_capacity, occupancy, result.slowdown])
+    print()
+    print(format_table(["event queue", "peak occupancy", "slowdown"], rows,
+                       "Event-queue sizing (Figure 3 axis)"))
+
+    rows = []
+    for size_kb in (1, 4, 16):
+        result = run(
+            fade_enabled=True,
+            md_cache=MetadataCacheConfig(size_bytes=size_kb * 1024),
+        )
+        stats = result.fade_stats
+        rows.append([f"{size_kb} KB", stats.tlb_misses, result.slowdown])
+    print()
+    print(format_table(["MD cache", "M-TLB misses", "slowdown"], rows,
+                       "MD cache sizing (Section 6 sensitivity)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim: enables legacy editable installs where the ``wheel`` package
+is unavailable (``pip install -e .`` needs bdist_wheel on old setuptools)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,110 @@
+"""FADE: a programmable filtering accelerator for instruction-grain
+monitoring — a full-system reproduction of Fytraki et al., HPCA 2014.
+
+Quick start::
+
+    from repro import quick_run
+
+    result = quick_run(benchmark="astar", monitor="memleak", fade=True)
+    print(result.summary())
+
+Layers (see DESIGN.md for the full map):
+
+* :mod:`repro.workload` — synthetic SPEC/SPLASH/PARSEC-like traces;
+* :mod:`repro.cores` / :mod:`repro.mem` — application-core timing substrate;
+* :mod:`repro.monitors` — the five functional bug-finding tools;
+* :mod:`repro.fade` — the programmable accelerator (event table, filter
+  logic, SUU, Non-Blocking extensions);
+* :mod:`repro.system` — the assembled monitoring systems;
+* :mod:`repro.analysis` — one harness per paper table/figure;
+* :mod:`repro.power` — 40 nm area/power models.
+"""
+
+from repro.analysis.experiments import ExperimentSettings, benchmarks_for, run_one
+from repro.cores.base import CoreType
+from repro.fade import Fade, FadeConfig, FadeProgram, ProgramBuilder
+from repro.monitors import (
+    MONITOR_NAMES,
+    AddrCheck,
+    AtomCheck,
+    BugKind,
+    BugReport,
+    MemCheck,
+    MemLeak,
+    Monitor,
+    TaintCheck,
+    create_monitor,
+)
+from repro.system import MonitoringSimulation, RunResult, SystemConfig, Topology, simulate
+from repro.system.simulator import simulate_warmed
+from repro.workload import (
+    BenchmarkProfile,
+    Trace,
+    TraceGenerator,
+    benchmark_names,
+    generate_trace,
+    get_profile,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AddrCheck",
+    "AtomCheck",
+    "BenchmarkProfile",
+    "BugKind",
+    "BugReport",
+    "CoreType",
+    "ExperimentSettings",
+    "Fade",
+    "FadeConfig",
+    "FadeProgram",
+    "MONITOR_NAMES",
+    "MemCheck",
+    "MemLeak",
+    "Monitor",
+    "MonitoringSimulation",
+    "ProgramBuilder",
+    "RunResult",
+    "SystemConfig",
+    "TaintCheck",
+    "Topology",
+    "Trace",
+    "TraceGenerator",
+    "benchmark_names",
+    "benchmarks_for",
+    "create_monitor",
+    "generate_trace",
+    "get_profile",
+    "quick_run",
+    "run_one",
+    "simulate",
+    "simulate_warmed",
+]
+
+
+def quick_run(
+    benchmark: str = "astar",
+    monitor: str = "memleak",
+    fade: bool = True,
+    non_blocking: bool = True,
+    core: CoreType = CoreType.OOO4,
+    topology: Topology = Topology.SINGLE_CORE_SMT,
+    num_instructions: int = 20_000,
+    seed: int = 7,
+) -> RunResult:
+    """Generate a trace and simulate one monitoring system end to end.
+
+    Returns a :class:`RunResult` with the slowdown against the unmonitored
+    baseline, FADE's filtering statistics, queue occupancies and any bug
+    reports the monitor raised.
+    """
+    profile = get_profile(benchmark)
+    trace = generate_trace(profile, num_instructions, seed=seed)
+    config = SystemConfig(
+        core_type=core,
+        topology=topology,
+        fade_enabled=fade,
+        non_blocking=non_blocking,
+    )
+    return simulate_warmed(trace, create_monitor(monitor), config, profile)

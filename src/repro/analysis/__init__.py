@@ -1,0 +1,44 @@
+"""Experiment harnesses: one entry point per table and figure of the paper.
+
+Each ``fig*``/``table*`` function regenerates the corresponding result from
+scratch (workload synthesis -> simulation -> aggregation) and returns plain
+data structures; :mod:`repro.analysis.formatting` renders them as the ASCII
+tables the benchmark harness prints.
+"""
+
+from repro.analysis.experiments import (
+    ExperimentSettings,
+    area_power,
+    benchmarks_for,
+    fig2_monitored_ipc,
+    fig3_queue_occupancy,
+    fig3_queue_size_slowdown,
+    fig4_breakdowns,
+    fig9_slowdown,
+    fig10_core_types,
+    fig11a_single_vs_two_core,
+    fig11b_core_utilization,
+    fig11c_blocking_vs_nonblocking,
+    table2_filtering,
+)
+from repro.analysis.formatting import format_table
+from repro.analysis.stats import geometric_mean, weighted_cdf
+
+__all__ = [
+    "ExperimentSettings",
+    "area_power",
+    "benchmarks_for",
+    "fig2_monitored_ipc",
+    "fig3_queue_occupancy",
+    "fig3_queue_size_slowdown",
+    "fig4_breakdowns",
+    "fig9_slowdown",
+    "fig10_core_types",
+    "fig11a_single_vs_two_core",
+    "fig11b_core_utilization",
+    "fig11c_blocking_vs_nonblocking",
+    "format_table",
+    "geometric_mean",
+    "table2_filtering",
+    "weighted_cdf",
+]

@@ -1,0 +1,434 @@
+"""One harness function per table/figure of the paper's evaluation.
+
+All experiments share a methodology mirroring Section 6: synthetic traces
+stand in for SPEC/SPLASH/PARSEC reference runs, and the leading half of each
+trace is functional warmup (the analogue of SMARTS checkpoints with warmed
+caches and metadata).  Results are returned as dictionaries/rows ready for
+:func:`repro.analysis.formatting.format_table`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.stats import (
+    geometric_mean,
+    occupancy_time_distribution,
+    percentile_from_cdf,
+    weighted_cdf,
+)
+from repro.cores.base import CoreType
+from repro.cores.retire import RetireModel
+from repro.isa.instruction import Instruction
+from repro.monitors import MONITOR_NAMES, create_monitor
+from repro.monitors.base import HandlerClass
+from repro.system.config import SystemConfig, Topology
+from repro.system.results import RunResult
+from repro.system.simulator import MonitoringSimulation
+from repro.workload.profiles import (
+    PARALLEL_BENCHMARKS,
+    SPEC_BENCHMARKS,
+    TAINT_BENCHMARKS,
+    get_profile,
+)
+from repro.workload.generator import generate_trace
+from repro.workload.trace import Trace
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentSettings:
+    """Trace length and seeding shared by all experiments."""
+
+    num_instructions: int = 24_000
+    seed: int = 7
+    warmup_fraction: float = 0.5
+
+    def scaled(self, factor: float) -> "ExperimentSettings":
+        return dataclasses.replace(
+            self, num_instructions=int(self.num_instructions * factor)
+        )
+
+
+DEFAULT_SETTINGS = ExperimentSettings()
+
+_TRACE_CACHE: Dict[Tuple[str, int, int], Trace] = {}
+_SCHEDULE_CACHE: Dict[Tuple[str, int, int, CoreType], List[float]] = {}
+
+
+def benchmarks_for(monitor: str) -> List[str]:
+    """The benchmark suite each monitor is evaluated on (Section 6)."""
+    monitor = monitor.lower()
+    if monitor == "atomcheck":
+        return list(PARALLEL_BENCHMARKS)
+    if monitor == "taintcheck":
+        return list(TAINT_BENCHMARKS)
+    return list(SPEC_BENCHMARKS)
+
+
+def get_trace(benchmark: str, settings: ExperimentSettings) -> Trace:
+    key = (benchmark, settings.num_instructions, settings.seed)
+    if key not in _TRACE_CACHE:
+        _TRACE_CACHE[key] = generate_trace(
+            get_profile(benchmark), settings.num_instructions, seed=settings.seed
+        )
+    return _TRACE_CACHE[key]
+
+
+def get_schedule(
+    benchmark: str, settings: ExperimentSettings, core: CoreType = CoreType.OOO4
+) -> List[float]:
+    key = (benchmark, settings.num_instructions, settings.seed, core)
+    if key not in _SCHEDULE_CACHE:
+        profile = get_profile(benchmark)
+        model = RetireModel(
+            core_type=core,
+            bubble_prob=profile.bubble_prob,
+            bubble_mean=profile.bubble_mean,
+        )
+        _SCHEDULE_CACHE[key] = model.schedule(get_trace(benchmark, settings))
+    return _SCHEDULE_CACHE[key]
+
+
+def run_one(
+    benchmark: str,
+    monitor_name: str,
+    config: SystemConfig,
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+) -> RunResult:
+    """Simulate one (benchmark, monitor, system) cell with standard warmup."""
+    trace = get_trace(benchmark, settings)
+    monitor = create_monitor(monitor_name)
+    warmup = int(len(trace.items) * settings.warmup_fraction)
+    return MonitoringSimulation(
+        trace, monitor, config, get_profile(benchmark), warmup_items=warmup
+    ).run()
+
+
+# ---------------------------------------------------------------------------
+# Figure 2: monitored versus unmonitored application IPC.
+# ---------------------------------------------------------------------------
+
+
+def _tail_ipc(
+    benchmark: str, monitor_name: str, settings: ExperimentSettings
+) -> Tuple[float, float]:
+    """(app IPC, monitored IPC) on the steady-state (post-warmup) region."""
+    trace = get_trace(benchmark, settings)
+    schedule = get_schedule(benchmark, settings)
+    start = int(len(trace.items) * settings.warmup_fraction)
+    span = schedule[-1] - schedule[start - 1] if start else schedule[-1]
+    monitor = create_monitor(monitor_name)
+    instructions = 0
+    monitored = 0
+    for item in trace.items[start:]:
+        if isinstance(item, Instruction):
+            instructions += 1
+            if monitor.wants(item):
+                monitored += 1
+    if span <= 0:
+        return 0.0, 0.0
+    return instructions / span, monitored / span
+
+
+def fig2_monitored_ipc(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+) -> Dict[str, object]:
+    """Figure 2: per-monitor average IPC split, and per-benchmark splits for
+    AddrCheck (b) and MemLeak (c)."""
+    per_monitor = {}
+    for monitor_name in MONITOR_NAMES:
+        rows = [
+            _tail_ipc(benchmark, monitor_name, settings)
+            for benchmark in benchmarks_for(monitor_name)
+        ]
+        app = sum(row[0] for row in rows) / len(rows)
+        monitored = sum(row[1] for row in rows) / len(rows)
+        per_monitor[monitor_name] = {"app_ipc": app, "monitored_ipc": monitored}
+    per_benchmark = {}
+    for monitor_name in ("addrcheck", "memleak"):
+        per_benchmark[monitor_name] = {
+            benchmark: dict(
+                zip(("app_ipc", "monitored_ipc"), _tail_ipc(benchmark, monitor_name, settings))
+            )
+            for benchmark in benchmarks_for(monitor_name)
+        }
+    return {"per_monitor": per_monitor, "per_benchmark": per_benchmark}
+
+
+# ---------------------------------------------------------------------------
+# Figure 3: event-queue occupancy and sizing.
+# ---------------------------------------------------------------------------
+
+
+def _monitored_arrivals(
+    benchmark: str, monitor_name: str, settings: ExperimentSettings
+) -> List[float]:
+    """Retirement times of monitored events in the steady-state region."""
+    trace = get_trace(benchmark, settings)
+    schedule = get_schedule(benchmark, settings)
+    start = int(len(trace.items) * settings.warmup_fraction)
+    monitor = create_monitor(monitor_name)
+    arrivals = []
+    for index in range(start, len(trace.items)):
+        item = trace.items[index]
+        if isinstance(item, Instruction) and monitor.wants(item):
+            arrivals.append(schedule[index])
+    return arrivals
+
+
+def fig3_queue_occupancy(
+    monitor_name: str = "memleak",
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Figure 3(a, b): occupancy of an infinite event queue drained by an
+    ideal one-event-per-cycle filtering accelerator."""
+    out = {}
+    for benchmark in benchmarks or benchmarks_for(monitor_name)[:8]:
+        arrivals = _monitored_arrivals(benchmark, monitor_name, settings)
+        departures: List[float] = []
+        previous = 0.0
+        for arrival in arrivals:
+            previous = max(arrival, previous) + 1.0
+            departures.append(previous)
+        distribution = occupancy_time_distribution(arrivals, departures)
+        cdf = weighted_cdf(distribution)
+        out[benchmark] = {
+            "p50": percentile_from_cdf(cdf, 50.0),
+            "p90": percentile_from_cdf(cdf, 90.0),
+            "p99": percentile_from_cdf(cdf, 99.0),
+            "max": max(distribution) if distribution else 0,
+        }
+    return out
+
+
+def fig3_queue_size_slowdown(
+    monitor_name: str = "memleak",
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    capacities: Sequence[int] = (32, 32_768),
+) -> Dict[str, Dict[int, float]]:
+    """Figure 3(c): slowdown of finite event queues against the unmonitored
+    baseline, with an ideal one-event-per-cycle consumer.
+
+    Uses the blocking-queue recurrence: an arrival finding the queue full
+    stalls the application, uniformly delaying the rest of the schedule.
+    """
+    out: Dict[str, Dict[int, float]] = {}
+    for benchmark in benchmarks_for(monitor_name):
+        trace = get_trace(benchmark, settings)
+        schedule = get_schedule(benchmark, settings)
+        start = int(len(trace.items) * settings.warmup_fraction)
+        base_start = schedule[start - 1] if start else 0.0
+        baseline = schedule[-1] - base_start
+        arrivals = _monitored_arrivals(benchmark, monitor_name, settings)
+        out[benchmark] = {}
+        for capacity in capacities:
+            delay = 0.0
+            departures: List[float] = []
+            for index, scheduled in enumerate(arrivals):
+                arrival = scheduled + delay
+                if index >= capacity and departures[index - capacity] > arrival:
+                    wait = departures[index - capacity] - arrival
+                    delay += wait
+                    arrival += wait
+                previous = departures[-1] if departures else 0.0
+                departures.append(max(arrival, previous) + 1.0)
+            finish = max(schedule[-1] + delay, departures[-1] if departures else 0.0)
+            out[benchmark][capacity] = (finish - base_start) / baseline
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 4: handler-time breakdown, unfiltered distances and bursts.
+# ---------------------------------------------------------------------------
+
+
+def fig4_breakdowns(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+) -> Dict[str, object]:
+    """Figure 4(a): software execution-time breakdown per monitor;
+    (b): distance CDF between unfiltered events for MemLeak;
+    (c): average unfiltered burst size per monitor/benchmark."""
+    unaccelerated = SystemConfig(fade_enabled=False)
+    time_breakdown = {}
+    burst_sizes: Dict[str, Dict[str, float]] = {}
+    distance_cdf: Dict[str, List[Tuple[int, float]]] = {}
+    for monitor_name in MONITOR_NAMES:
+        shares_acc: Dict[str, float] = {}
+        bursts: Dict[str, float] = {}
+        for benchmark in benchmarks_for(monitor_name):
+            result = run_one(benchmark, monitor_name, unaccelerated, settings)
+            for cls, cost in result.handler_instructions.items():
+                shares_acc[cls.value] = shares_acc.get(cls.value, 0.0) + cost
+            bursts[benchmark] = result.average_burst_size
+            if monitor_name == "memleak":
+                distance_cdf[benchmark] = weighted_cdf(
+                    dict(result.unfiltered_distances)
+                )
+        total = sum(shares_acc.values()) or 1.0
+        time_breakdown[monitor_name] = {
+            cls: 100.0 * cost / total for cls, cost in sorted(shares_acc.items())
+        }
+        burst_sizes[monitor_name] = bursts
+    return {
+        "time_breakdown": time_breakdown,
+        "distance_cdf": distance_cdf,
+        "burst_sizes": burst_sizes,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Table 2: filtering efficiency.
+# ---------------------------------------------------------------------------
+
+
+def table2_filtering(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+) -> Dict[str, float]:
+    """Table 2: fraction of instruction event handlers filtered by FADE."""
+    config = SystemConfig(fade_enabled=True, non_blocking=True)
+    out = {}
+    for monitor_name in MONITOR_NAMES:
+        ratios = [
+            run_one(benchmark, monitor_name, config, settings).filtering_ratio
+            for benchmark in benchmarks_for(monitor_name)
+        ]
+        out[monitor_name] = 100.0 * sum(ratios) / len(ratios)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 9: FADE versus the unaccelerated system.
+# ---------------------------------------------------------------------------
+
+
+def fig9_slowdown(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    monitors: Sequence[str] = tuple(MONITOR_NAMES),
+) -> Dict[str, object]:
+    """Figure 9: per-benchmark slowdowns for the single-core dual-threaded
+    4-way OoO system, unaccelerated versus (non-blocking) FADE."""
+    unaccelerated = SystemConfig(fade_enabled=False)
+    accelerated = SystemConfig(fade_enabled=True, non_blocking=True)
+    per_monitor: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for monitor_name in monitors:
+        rows = {}
+        for benchmark in benchmarks_for(monitor_name):
+            base = run_one(benchmark, monitor_name, unaccelerated, settings)
+            fade = run_one(benchmark, monitor_name, accelerated, settings)
+            rows[benchmark] = {
+                "unaccelerated": base.slowdown,
+                "fade": fade.slowdown,
+                "filtering": fade.filtering_ratio,
+            }
+        rows["gmean"] = {
+            "unaccelerated": geometric_mean(
+                row["unaccelerated"] for row in rows.values()
+            ),
+            "fade": geometric_mean(row["fade"] for row in rows.values()),
+            "filtering": sum(row["filtering"] for row in rows.values())
+            / max(1, len(rows)),
+        }
+        per_monitor[monitor_name] = rows
+    return per_monitor
+
+
+# ---------------------------------------------------------------------------
+# Figure 10: sensitivity to the core microarchitecture.
+# ---------------------------------------------------------------------------
+
+
+def fig10_core_types(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    monitors: Sequence[str] = tuple(MONITOR_NAMES),
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Figure 10: gmean slowdown per monitor for in-order / 2-way / 4-way
+    cores, unaccelerated versus FADE (single-core system)."""
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for monitor_name in monitors:
+        out[monitor_name] = {}
+        for core in (CoreType.INORDER, CoreType.OOO2, CoreType.OOO4):
+            slowdowns = {"unaccelerated": [], "fade": []}
+            for benchmark in benchmarks_for(monitor_name):
+                for label, fade_on in (("unaccelerated", False), ("fade", True)):
+                    config = SystemConfig(core_type=core, fade_enabled=fade_on)
+                    result = run_one(benchmark, monitor_name, config, settings)
+                    slowdowns[label].append(result.slowdown)
+            out[monitor_name][core.value] = {
+                label: geometric_mean(values) for label, values in slowdowns.items()
+            }
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 11: system organisation and Non-Blocking Filtering.
+# ---------------------------------------------------------------------------
+
+
+def fig11a_single_vs_two_core(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+) -> Dict[str, Dict[str, float]]:
+    """Figure 11(a): FADE-enabled single-core versus two-core slowdowns."""
+    out = {}
+    for monitor_name in MONITOR_NAMES:
+        row = {}
+        for label, topology in (
+            ("single-core", Topology.SINGLE_CORE_SMT),
+            ("two-core", Topology.TWO_CORE),
+        ):
+            config = SystemConfig(topology=topology, fade_enabled=True)
+            row[label] = geometric_mean(
+                run_one(benchmark, monitor_name, config, settings).slowdown
+                for benchmark in benchmarks_for(monitor_name)
+            )
+        out[monitor_name] = row
+    return out
+
+
+def fig11b_core_utilization(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+) -> Dict[str, Dict[str, float]]:
+    """Figure 11(b): two-core execution-time breakdown: app core idle
+    (event queue full), monitor core idle (everything filtered), both busy."""
+    config = SystemConfig(topology=Topology.TWO_CORE, fade_enabled=True)
+    out = {}
+    for monitor_name in MONITOR_NAMES:
+        totals = {"app_idle": 0.0, "monitor_idle": 0.0, "both_busy": 0.0}
+        for benchmark in benchmarks_for(monitor_name):
+            result = run_one(benchmark, monitor_name, config, settings)
+            for key, value in result.cycle_breakdown.percentages().items():
+                totals[key] += value
+        count = len(benchmarks_for(monitor_name))
+        out[monitor_name] = {key: value / count for key, value in totals.items()}
+    return out
+
+
+def fig11c_blocking_vs_nonblocking(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+) -> Dict[str, Dict[str, float]]:
+    """Figure 11(c): baseline (blocking) FADE versus Non-Blocking FADE."""
+    out = {}
+    for monitor_name in MONITOR_NAMES:
+        row = {}
+        for label, non_blocking in (("blocking", False), ("non-blocking", True)):
+            config = SystemConfig(fade_enabled=True, non_blocking=non_blocking)
+            row[label] = geometric_mean(
+                run_one(benchmark, monitor_name, config, settings).slowdown
+                for benchmark in benchmarks_for(monitor_name)
+            )
+        row["speedup"] = row["blocking"] / row["non-blocking"]
+        out[monitor_name] = row
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Section 7.6: area and power.
+# ---------------------------------------------------------------------------
+
+
+def area_power() -> Dict[str, Dict[str, float]]:
+    """Section 7.6: FADE logic + MD cache area/power at 40 nm, 2 GHz."""
+    from repro.power.area_model import fade_area_power_report
+
+    return fade_area_power_report()

@@ -1,0 +1,55 @@
+"""Statistical helpers for experiment aggregation."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's cross-benchmark aggregate, 'gmean')."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def weighted_cdf(weights: Dict[int, float]) -> List[Tuple[int, float]]:
+    """Cumulative distribution (value, cumulative %) from value -> weight."""
+    total = sum(weights.values())
+    if total <= 0:
+        return []
+    out = []
+    cumulative = 0.0
+    for value in sorted(weights):
+        cumulative += weights[value]
+        out.append((value, 100.0 * cumulative / total))
+    return out
+
+
+def percentile_from_cdf(cdf: Sequence[Tuple[int, float]], pct: float) -> int:
+    """Smallest value whose cumulative share reaches ``pct`` percent."""
+    for value, cumulative in cdf:
+        if cumulative >= pct:
+            return value
+    return cdf[-1][0] if cdf else 0
+
+
+def occupancy_time_distribution(
+    arrivals: Sequence[float], departures: Sequence[float]
+) -> Dict[int, float]:
+    """Time-weighted queue-occupancy distribution from arrival/departure
+    times (the Figure 3(a, b) measurement on an infinite queue)."""
+    events: List[Tuple[float, int]] = [(t, +1) for t in arrivals]
+    events += [(t, -1) for t in departures]
+    events.sort()
+    distribution: Dict[int, float] = {}
+    occupancy = 0
+    last_time = events[0][0] if events else 0.0
+    for time, delta in events:
+        span = time - last_time
+        if span > 0:
+            distribution[occupancy] = distribution.get(occupancy, 0.0) + span
+        occupancy += delta
+        last_time = time
+    return distribution

@@ -1,0 +1,160 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run`` — simulate one (benchmark, monitor, system) triple and print the
+  result summary plus filtering statistics.
+* ``table2`` / ``fig9`` — regenerate the headline experiments.
+* ``area`` — print the Section 7.6 area/power report.
+* ``list`` — show the available benchmarks and monitors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import (
+    ExperimentSettings,
+    fig9_slowdown,
+    format_table,
+    table2_filtering,
+)
+from repro.cores.base import CoreType
+from repro.monitors import MONITOR_NAMES, create_monitor
+from repro.system import SystemConfig, Topology
+from repro.system.simulator import simulate_warmed
+from repro.workload import benchmark_names, generate_trace, get_profile
+
+_CORES = {"inorder": CoreType.INORDER, "ooo2": CoreType.OOO2, "ooo4": CoreType.OOO4}
+_TOPOLOGIES = {
+    "single": Topology.SINGLE_CORE_SMT,
+    "two-core": Topology.TWO_CORE,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FADE (HPCA 2014) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate one monitoring run")
+    run.add_argument("--benchmark", default="astar", choices=benchmark_names())
+    run.add_argument("--monitor", default="memleak", choices=MONITOR_NAMES)
+    run.add_argument("--core", default="ooo4", choices=sorted(_CORES))
+    run.add_argument("--topology", default="single", choices=sorted(_TOPOLOGIES))
+    run.add_argument("--no-fade", action="store_true", help="unaccelerated system")
+    run.add_argument("--blocking", action="store_true", help="disable Non-Blocking")
+    run.add_argument("-n", "--instructions", type=int, default=20_000)
+    run.add_argument("--seed", type=int, default=7)
+    run.add_argument("--warmup", type=float, default=0.5)
+
+    for name, help_text in (
+        ("table2", "regenerate Table 2 (filtering efficiency)"),
+        ("fig9", "regenerate Figure 9 (FADE vs unaccelerated slowdown)"),
+    ):
+        exp = sub.add_parser(name, help=help_text)
+        exp.add_argument("-n", "--instructions", type=int, default=12_000)
+        exp.add_argument("--seed", type=int, default=7)
+
+    sub.add_parser("area", help="Section 7.6 area/power report")
+    sub.add_parser("list", help="available benchmarks and monitors")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    profile = get_profile(args.benchmark)
+    trace = generate_trace(profile, args.instructions, seed=args.seed)
+    config = SystemConfig(
+        core_type=_CORES[args.core],
+        topology=_TOPOLOGIES[args.topology],
+        fade_enabled=not args.no_fade,
+        non_blocking=not args.blocking,
+    )
+    result = simulate_warmed(
+        trace, create_monitor(args.monitor), config, profile,
+        warmup_fraction=args.warmup,
+    )
+    print(result.summary())
+    if result.fade_stats is not None:
+        stats = result.fade_stats
+        print(
+            f"  events={stats.instruction_events} filtered={stats.filtered} "
+            f"partial-short={stats.partial_short} full-handlers={stats.unfiltered_full}"
+        )
+        print(
+            f"  stack-updates(SUU)={stats.stack_updates} "
+            f"tlb-misses={stats.tlb_misses} nb-updates={stats.md_updates_committed}"
+        )
+    breakdown = result.handler_time_percentages()
+    if breakdown:
+        shares = "  ".join(f"{k}={v:.1f}%" for k, v in breakdown.items())
+        print(f"  handler time: {shares}")
+    for report in result.reports:
+        print(f"  {report}")
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    settings = ExperimentSettings(num_instructions=args.instructions, seed=args.seed)
+    measured = table2_filtering(settings)
+    rows = [[name, value] for name, value in measured.items()]
+    print(format_table(["monitor", "filtering %"], rows,
+                       "Table 2: FADE filtering efficiency"))
+    return 0
+
+
+def _cmd_fig9(args: argparse.Namespace) -> int:
+    settings = ExperimentSettings(num_instructions=args.instructions, seed=args.seed)
+    data = fig9_slowdown(settings)
+    rows = []
+    for monitor_name, per_bench in data.items():
+        gmean = per_bench["gmean"]
+        rows.append([monitor_name, gmean["unaccelerated"], gmean["fade"]])
+    print(format_table(["monitor", "unaccelerated", "FADE"], rows,
+                       "Figure 9 (gmean): slowdown vs unmonitored baseline"))
+    return 0
+
+
+def _cmd_area(_: argparse.Namespace) -> int:
+    from repro.analysis import area_power
+
+    report = area_power()
+    rows = [
+        ["FADE logic", report["fade_logic"]["area_mm2"],
+         report["fade_logic"]["peak_power_mw"]],
+        ["MD cache", report["md_cache"]["area_mm2"],
+         report["md_cache"]["peak_power_mw"]],
+        ["total", report["total"]["area_mm2"],
+         report["total"]["peak_power_mw"]],
+    ]
+    print(format_table(["block", "area mm2", "peak mW"], rows,
+                       "Section 7.6 (40 nm, 2 GHz)"))
+    return 0
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    print("benchmarks:", " ".join(benchmark_names()))
+    print("monitors:  ", " ".join(MONITOR_NAMES))
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "table2": _cmd_table2,
+    "fig9": _cmd_fig9,
+    "area": _cmd_area,
+    "list": _cmd_list,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything the package may raise with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class ProgrammingError(ReproError):
+    """An invalid FADE program (event table / INV RF contents) was supplied."""
+
+
+class QueueFullError(ReproError):
+    """An enqueue was attempted on a full bounded queue."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent state."""

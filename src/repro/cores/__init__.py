@@ -1,0 +1,19 @@
+"""Application-core timing models.
+
+The paper evaluates three core microarchitectures (Table 1): in-order
+1-way, lean OoO 2-way with a 48-entry ROB, and aggressive OoO 4-way with a
+96-entry ROB.  :mod:`repro.cores.retire` turns a trace into a *retirement
+schedule* — the cycle at which each instruction retires on an unobstructed
+core — which the system simulator then replays under monitoring backpressure.
+"""
+
+from repro.cores.base import CORE_PARAMETERS, CoreParameters, CoreType
+from repro.cores.retire import RetireModel, compute_retire_schedule
+
+__all__ = [
+    "CORE_PARAMETERS",
+    "CoreParameters",
+    "CoreType",
+    "RetireModel",
+    "compute_retire_schedule",
+]

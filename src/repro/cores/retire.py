@@ -1,0 +1,145 @@
+"""Retirement-schedule computation.
+
+A width/ROB-limited in-order-retire model: each instruction dispatches at
+most ``width`` per cycle into a ROB, completes after an execute latency
+(loads walk the real L1/L2/DRAM hierarchy, so locality shapes the schedule),
+and retires in order, at most ``width`` per cycle.  Serialising dependences
+(``depends_on_prev``, set by the workload generator) and front-end bubbles
+throttle ILP.
+
+The output is the *unobstructed* retirement time of every trace item in
+fractional cycles.  The system simulator replays this schedule against
+monitoring backpressure: stalls uniformly shift the remainder of the
+schedule, which is exact for in-order retirement — a full ROB simply holds
+its contents while the head cannot retire.
+
+Bubbles are derived from a deterministic hash of the item index so that a
+(trace, core) pair always yields the same schedule.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from repro.cores.base import CORE_PARAMETERS, CoreParameters, CoreType
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OpClass
+from repro.mem.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.workload.trace import Trace
+
+#: Execute latencies by op class (cycles); loads come from the hierarchy.
+_EXEC_LATENCY = {
+    OpClass.STORE: 1,  # Retirement does not wait on the store completing.
+    OpClass.ALU: 1,
+    OpClass.MOVE: 1,
+    OpClass.FP: 3,
+    OpClass.BRANCH: 1,
+    OpClass.CALL: 1,
+    OpClass.RETURN: 1,
+    OpClass.NOP: 1,
+}
+
+_HASH_MULTIPLIER = 2654435761  # Knuth multiplicative hash.
+
+
+def _bubble_gap(index: int, seed: int, probability: float, mean: float) -> float:
+    """Deterministic pseudo-random front-end bubble at dispatch."""
+    if probability <= 0.0:
+        return 0.0
+    h = ((index + 1) * _HASH_MULTIPLIER ^ seed) & 0xFFFFFFFF
+    if (h % 10_000) >= probability * 10_000:
+        return 0.0
+    # Second hash draws the bubble length around the mean.
+    h2 = (h * _HASH_MULTIPLIER) & 0xFFFFFFFF
+    return 1.0 + (h2 % int(2 * mean * 100)) / 100.0
+
+
+@dataclasses.dataclass
+class RetireModel:
+    """Schedule computation for one (trace, core) pair."""
+
+    core_type: CoreType
+    bubble_prob: float = 0.0
+    bubble_mean: float = 6.0
+    hierarchy_config: HierarchyConfig = dataclasses.field(default_factory=HierarchyConfig)
+
+    def schedule(self, trace: Trace) -> List[float]:
+        """Unobstructed retirement time (fractional cycles) per trace item."""
+        params: CoreParameters = CORE_PARAMETERS[self.core_type]
+        hierarchy = MemoryHierarchy(self.hierarchy_config)
+        interval = 1.0 / params.width
+        rob = params.rob_entries
+        seed = trace.seed & 0xFFFFFFFF
+
+        times: List[float] = []
+        retire_ring: List[float] = [0.0] * rob  # Retire time, i mod rob.
+        last_dispatch = 0.0
+        chain_complete = 0.0  # Completion of the program's critical path.
+        last_retire = 0.0
+        instruction_index = 0
+
+        for item in trace:
+            if not isinstance(item, Instruction):
+                # High-level events ride along with the previous instruction.
+                times.append(last_retire)
+                continue
+
+            dispatch = last_dispatch + interval
+            # ROB space: the (i - rob)-th instruction must have retired.
+            if instruction_index >= rob:
+                dispatch = max(dispatch, retire_ring[instruction_index % rob])
+            dispatch += _bubble_gap(
+                instruction_index, seed, self.bubble_prob, self.bubble_mean
+            )
+
+            if item.op_class is OpClass.LOAD:
+                latency = float(hierarchy.load_latency(item.memory_address))
+            else:
+                latency = float(_EXEC_LATENCY[item.op_class])
+                if item.op_class is OpClass.STORE:
+                    hierarchy.store_latency(item.memory_address)
+
+            # Dependent instructions extend the program's critical path: a
+            # monotone chain of completions (value -> address -> value ...),
+            # which is what serialises pointer-chasing codes regardless of
+            # how many independent instructions the OoO core overlaps.
+            start = dispatch
+            if item.depends_on_prev:
+                start = max(start, chain_complete)
+            complete = start + latency
+            if item.depends_on_prev:
+                chain_complete = complete
+            retire = max(complete, last_retire + interval)
+
+            times.append(retire)
+            retire_ring[instruction_index % rob] = retire
+            last_dispatch = dispatch
+            last_retire = retire
+            instruction_index += 1
+
+        return times
+
+
+def compute_retire_schedule(
+    trace: Trace,
+    core_type: CoreType,
+    bubble_prob: float = 0.0,
+    bubble_mean: float = 6.0,
+    hierarchy_config: Optional[HierarchyConfig] = None,
+) -> List[float]:
+    """Convenience wrapper around :class:`RetireModel`."""
+    model = RetireModel(
+        core_type=core_type,
+        bubble_prob=bubble_prob,
+        bubble_mean=bubble_mean,
+        hierarchy_config=hierarchy_config or HierarchyConfig(),
+    )
+    return model.schedule(trace)
+
+
+def app_alone_cycles(schedule: Sequence[float]) -> float:
+    """Run time of the unmonitored application (the Figure 9 baseline)."""
+    if not schedule:
+        return 0.0
+    return schedule[-1]

@@ -1,0 +1,65 @@
+"""The FADE accelerator model (Sections 4 and 5 of the paper).
+
+The package is split the way the hardware is:
+
+* :mod:`repro.fade.event_table` — per-event filtering rules (Figure 6(b)),
+  with a faithful 96-bit encoding.
+* :mod:`repro.fade.inv_rf` — the Invariant Register File.
+* :mod:`repro.fade.filter_logic` — the three comparison blocks (Figure 7)
+  evaluating clean checks and redundant updates.
+* :mod:`repro.fade.update_logic` — Non-Blocking critical-metadata update
+  rules (Section 5.2).
+* :mod:`repro.fade.fsq` — the Filter Store Queue.
+* :mod:`repro.fade.md_cache` — the metadata cache and metadata TLB.
+* :mod:`repro.fade.suu` — the Stack-Update Unit.
+* :mod:`repro.fade.pipeline` — per-event functional + timing evaluation of
+  the filtering pipeline.
+* :mod:`repro.fade.accelerator` — the assembled accelerator.
+* :mod:`repro.fade.programming` — a small builder DSL monitors use to express
+  their filtering rules as event-table/INV-RF contents.
+
+Everything a monitor configures is *data* (table entries and invariant
+values); the logic here is monitor-agnostic, which is the paper's central
+claim of generality.
+"""
+
+from repro.fade.accelerator import Fade, FadeConfig, FadeStats
+from repro.fade.event_table import (
+    EVENT_TABLE_SIZE,
+    EventTable,
+    EventTableEntry,
+    OperandRule,
+    RuKind,
+)
+from repro.fade.filter_logic import FilterLogic
+from repro.fade.fsq import FilterStoreQueue
+from repro.fade.inv_rf import InvariantRegisterFile
+from repro.fade.md_cache import MetadataCache, MetadataCacheConfig
+from repro.fade.pipeline import EventOutcome, FilteringPipeline, HandlerKind
+from repro.fade.programming import FadeProgram, ProgramBuilder
+from repro.fade.suu import StackUpdateUnit
+from repro.fade.update_logic import NonBlockCondition, NonBlockRule, UpdateSpec
+
+__all__ = [
+    "EVENT_TABLE_SIZE",
+    "EventOutcome",
+    "EventTable",
+    "EventTableEntry",
+    "Fade",
+    "FadeConfig",
+    "FadeProgram",
+    "FadeStats",
+    "FilterLogic",
+    "FilterStoreQueue",
+    "FilteringPipeline",
+    "HandlerKind",
+    "InvariantRegisterFile",
+    "MetadataCache",
+    "MetadataCacheConfig",
+    "NonBlockCondition",
+    "NonBlockRule",
+    "OperandRule",
+    "ProgramBuilder",
+    "StackUpdateUnit",
+    "UpdateSpec",
+]

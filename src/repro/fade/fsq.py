@@ -1,0 +1,73 @@
+"""The Filter Store Queue (FSQ).
+
+In Non-Blocking mode, critical-metadata updates for *memory* operands of
+unfilterable events are committed to the FSQ in the Metadata Write stage
+(register updates go straight to the MD RF).  Dependent younger events search
+the FSQ in parallel with the MD cache and the newest matching entry wins.
+When the software handler of the owning event completes — having written the
+full (critical + non-critical) metadata through the regular path — the FSQ
+entry is discarded (Section 5.2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Deque, Optional
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class FsqEntry:
+    """One in-flight critical-metadata store."""
+
+    word_address: int
+    value: int
+    owner_sequence: int  # The unfiltered event this update belongs to.
+
+
+class FilterStoreQueue:
+    """A small associatively-searched store queue."""
+
+    def __init__(self, capacity: int = 16) -> None:
+        if capacity <= 0:
+            raise ConfigurationError("FSQ capacity must be positive")
+        self.capacity = capacity
+        self._entries: Deque[FsqEntry] = deque()
+        self.inserts = 0
+        self.hits = 0
+        self.max_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def insert(self, word_address: int, value: int, owner_sequence: int) -> None:
+        """Allocate an entry (the caller must have checked capacity)."""
+        if self.is_full:
+            raise ConfigurationError("FSQ overflow — caller must stall on full")
+        self._entries.append(FsqEntry(word_address, value, owner_sequence))
+        self.inserts += 1
+        self.max_occupancy = max(self.max_occupancy, len(self._entries))
+
+    def lookup(self, word_address: int) -> Optional[int]:
+        """Newest value for a word, or None (then the MD cache value is used)."""
+        for entry in reversed(self._entries):
+            if entry.word_address == word_address:
+                self.hits += 1
+                return entry.value
+        return None
+
+    def release(self, owner_sequence: int) -> int:
+        """Discard entries owned by a completed handler; returns the count."""
+        kept = [e for e in self._entries if e.owner_sequence != owner_sequence]
+        released = len(self._entries) - len(kept)
+        self._entries = deque(kept)
+        return released
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,106 @@
+"""The metadata cache (MD cache) and metadata TLB (M-TLB).
+
+Section 4.1/6: a 4 KB, two-way MD cache with one-cycle access latency and a
+16-entry M-TLB holding application-page -> metadata-page translations, with
+misses serviced in software.  With one metadata byte per application word the
+metadata address space is the application address space shifted right by two;
+a 64 B metadata block therefore covers 256 B of application data.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.common.units import KB, WORD_SIZE
+from repro.mem.cache import Cache, CacheConfig
+from repro.mem.tlb import Tlb
+
+
+@dataclasses.dataclass(frozen=True)
+class MetadataCacheConfig:
+    """Geometry of the MD cache and M-TLB (Table 1 text + Section 6)."""
+
+    size_bytes: int = 4 * KB
+    associativity: int = 2
+    block_bytes: int = 64
+    hit_latency: int = 1
+    #: Fill latency on an MD-cache miss (from the shared L2, Table 1).
+    miss_latency: int = 10
+    tlb_entries: int = 16
+    #: Software M-TLB-miss service cost, in monitor-core instructions.
+    tlb_service_instructions: int = 30
+
+
+@dataclasses.dataclass(frozen=True)
+class MetadataAccess:
+    """Timing result of one metadata access."""
+
+    hit: bool
+    cycles: int
+    tlb_miss: bool
+
+
+class MetadataCache:
+    """Timing model of the MD cache + M-TLB pair.
+
+    Functional metadata lives in the monitor's shadow structures; this class
+    only answers "how many cycles did that access cost, and did the M-TLB
+    miss" (an M-TLB miss additionally costs software service time, charged by
+    the system model to the monitor core).
+    """
+
+    def __init__(self, config: MetadataCacheConfig = MetadataCacheConfig()) -> None:
+        self.config = config
+        self._cache = Cache(
+            CacheConfig(
+                size_bytes=config.size_bytes,
+                associativity=config.associativity,
+                block_bytes=config.block_bytes,
+                latency=config.hit_latency,
+                name="MD$",
+            )
+        )
+        self._tlb = Tlb(config.tlb_entries)
+
+    @staticmethod
+    def metadata_address(app_address: int) -> int:
+        """Metadata byte address of the word containing ``app_address``."""
+        return app_address // WORD_SIZE
+
+    def access(self, app_address: int) -> MetadataAccess:
+        """One metadata read or write for an application address.
+
+        The M-TLB translates at *metadata-page* granularity: one entry maps
+        the (4 KB) metadata page backing 16 KB of application space, which is
+        what gives a 16-entry M-TLB its reach.
+        """
+        tlb_hit = self._tlb.access(self.metadata_address(app_address))
+        hit = self._cache.access(self.metadata_address(app_address))
+        cycles = self.config.hit_latency if hit else self.config.miss_latency
+        return MetadataAccess(hit=hit, cycles=cycles, tlb_miss=not tlb_hit)
+
+    def bulk_touch(self, start: int, length: int) -> int:
+        """Touch every metadata block covering an application range.
+
+        Used by the Stack-Update Unit; returns the number of metadata blocks
+        written (one SUU write each).
+        """
+        first_block = self.metadata_address(start) // self.config.block_bytes
+        last_block = self.metadata_address(start + max(0, length - 1))
+        last_block //= self.config.block_bytes
+        blocks = last_block - first_block + 1
+        for block in range(first_block, last_block + 1):
+            self._cache.access(block * self.config.block_bytes)
+        return blocks
+
+    @property
+    def cache_stats(self):
+        return self._cache.stats
+
+    @property
+    def tlb_stats(self):
+        return self._tlb.stats
+
+    def flush(self) -> None:
+        self._cache.flush()
+        self._tlb.flush()

@@ -1,0 +1,261 @@
+"""The filtering pipeline (Figure 5): functional + timing evaluation.
+
+Stages: Event Table Read -> Control -> Metadata Read -> Filter, plus the
+Metadata Write stage added for Non-Blocking Filtering.  The pipeline is fully
+bypassed, so its *throughput* is one check per cycle; an event occupies it
+for one cycle per chained check plus any MD-cache miss stall.  The stage
+*depth* only adds fill latency, which is negligible against queue dynamics
+and is folded into the per-event occupancy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Optional, Tuple
+
+from repro.common.errors import ProgrammingError
+from repro.fade.event_table import EventTable, EventTableEntry
+from repro.fade.filter_logic import FilterLogic, OperandMetadata
+from repro.fade.fsq import FilterStoreQueue
+from repro.fade.inv_rf import InvariantRegisterFile
+from repro.fade.md_cache import MetadataCache
+from repro.fade.update_logic import compute_update
+from repro.isa.events import MonitoredEvent
+from repro.metadata.shadow import ShadowMemory, ShadowRegisters
+
+
+class HandlerKind(enum.Enum):
+    """What software work, if any, an event still needs after filtering."""
+
+    NONE = "none"  # Filtered: no software handler at all.
+    SHORT = "short"  # Partial filtering, hardware check passed.
+    FULL = "full"  # Unfiltered: the full software handler runs.
+
+
+@dataclasses.dataclass(frozen=True)
+class EventOutcome:
+    """Result of pushing one instruction event through the pipeline.
+
+    Attributes:
+        filtered: no software processing needed.
+        handler_kind: which handler the unfiltered event requires.
+        handler_pc: the selected handler's PC (0 when filtered).
+        occupancy_cycles: cycles the event occupies the pipeline.
+        checks: number of event-table checks evaluated (multi-shot depth).
+        tlb_miss: the M-TLB missed; software service is required.
+        md_update: Non-Blocking critical-metadata update committed in the
+            Metadata Write stage: ("reg", index, value) or
+            ("mem", word_address, value); None if no update was performed.
+    """
+
+    filtered: bool
+    handler_kind: HandlerKind
+    handler_pc: int
+    occupancy_cycles: int
+    checks: int
+    tlb_miss: bool
+    md_update: Optional[Tuple[str, int, int]]
+
+
+class FilteringPipeline:
+    """Evaluates events against the programmed tables.
+
+    The pipeline reads critical metadata through the MD RF (registers) and
+    the FSQ + shadow memory (memory); in Non-Blocking mode it also commits
+    critical updates for unfiltered events.
+    """
+
+    def __init__(
+        self,
+        event_table: EventTable,
+        inv_rf: InvariantRegisterFile,
+        md_registers: ShadowRegisters,
+        md_memory: ShadowMemory,
+        md_cache: MetadataCache,
+        fsq: Optional[FilterStoreQueue] = None,
+        non_blocking: bool = True,
+    ) -> None:
+        self.event_table = event_table
+        self.inv_rf = inv_rf
+        self.md_registers = md_registers
+        self.md_memory = md_memory
+        self.md_cache = md_cache
+        self.fsq = fsq
+        self.non_blocking = non_blocking
+        self.filter_logic = FilterLogic(inv_rf)
+
+    # ----------------------------------------------------------------- reads
+
+    def _read_memory_metadata(self, address: int) -> int:
+        """FSQ (newest in-flight value) in parallel with the MD cache."""
+        word = ShadowMemory.word_address(address)
+        if self.non_blocking and self.fsq is not None:
+            forwarded = self.fsq.lookup(word)
+            if forwarded is not None:
+                return forwarded
+        return self.md_memory.read(address)
+
+    def _operand_metadata(
+        self, entry: EventTableEntry, event: MonitoredEvent
+    ) -> Tuple[OperandMetadata, int, bool]:
+        """Read the three operands' metadata; returns (values, cycles, tlb_miss).
+
+        All memory operands of an instruction share the event's single
+        ``app_addr`` (one memory operand per instruction in the modelled
+        ISA), so at most one MD-cache access is made per event.
+        """
+        cycles = 0
+        tlb_miss = False
+        memory_value: Optional[int] = None
+        needs_memory = any(
+            rule.valid and rule.mem for rule in (entry.s1, entry.s2, entry.d)
+        )
+        if needs_memory and event.app_addr is not None:
+            access = self.md_cache.access(event.app_addr)
+            cycles += access.cycles
+            tlb_miss = access.tlb_miss
+            memory_value = self._read_memory_metadata(event.app_addr)
+
+        def value_for(rule, register: Optional[int]) -> Optional[int]:
+            if not rule.valid:
+                return None
+            if rule.mem:
+                return memory_value
+            if register is None:
+                return None
+            return self.md_registers.read(register)
+
+        metadata = OperandMetadata(
+            s1=value_for(entry.s1, event.src1_reg),
+            s2=value_for(entry.s2, event.src2_reg),
+            d=value_for(entry.d, event.dest_reg),
+        )
+        return metadata, cycles, tlb_miss
+
+    # --------------------------------------------------------------- evaluate
+
+    def process(self, event: MonitoredEvent) -> EventOutcome:
+        """Push one instruction event through the pipeline.
+
+        Functionally evaluates the multi-shot chain, selects the handler for
+        partial filtering, and (Non-Blocking mode) commits the critical
+        update for unfiltered events.
+        """
+        head = self.event_table.lookup(event.event_id)
+        if head is None:
+            # Unprogrammed event: always software (the monitor asked for the
+            # event but provided no filtering rules).
+            return EventOutcome(
+                filtered=False,
+                handler_kind=HandlerKind.FULL,
+                handler_pc=0,
+                occupancy_cycles=1,
+                checks=0,
+                tlb_miss=False,
+                md_update=None,
+            )
+
+        chain = self.event_table.chain(event.event_id)
+        filtered = True
+        has_real_check = False
+        partial_entry: Optional[EventTableEntry] = None
+        partial_outcome = False
+        total_cycles = 0
+        tlb_missed = False
+        first_metadata: Optional[OperandMetadata] = None
+
+        for _, entry in chain:
+            metadata, cycles, tlb_miss = self._operand_metadata(entry, event)
+            if first_metadata is None:
+                first_metadata = metadata
+            total_cycles += max(1, cycles)  # One pipeline slot per check.
+            tlb_missed = tlb_missed or tlb_miss
+            outcome = self.filter_logic.evaluate(entry, metadata)
+            if entry.partial:
+                # Partial checks select the handler; they never make the
+                # event fully filtered (software runs either way).
+                partial_entry = entry
+                partial_outcome = outcome
+            elif entry.has_check:
+                has_real_check = True
+                filtered = filtered and outcome
+
+        if not has_real_check:
+            filtered = False  # Pure-partial programs never fully filter.
+
+        if filtered:
+            return EventOutcome(
+                filtered=True,
+                handler_kind=HandlerKind.NONE,
+                handler_pc=0,
+                occupancy_cycles=total_cycles,
+                checks=len(chain),
+                tlb_miss=tlb_missed,
+                md_update=None,
+            )
+
+        handler_kind, handler_pc = self._select_handler(
+            chain[0][1], partial_entry, partial_outcome
+        )
+        md_update = None
+        if self.non_blocking:
+            md_update = self._commit_update(chain[0][1], event, first_metadata)
+        return EventOutcome(
+            filtered=False,
+            handler_kind=handler_kind,
+            handler_pc=handler_pc,
+            occupancy_cycles=total_cycles,
+            checks=len(chain),
+            tlb_miss=tlb_missed,
+            md_update=md_update,
+        )
+
+    def _select_handler(
+        self,
+        head: EventTableEntry,
+        partial_entry: Optional[EventTableEntry],
+        partial_outcome: bool,
+    ) -> Tuple[HandlerKind, int]:
+        """The P bit drives handler-PC selection (Section 4.1).
+
+        A passing partial check dispatches the *short* handler, whose PC is
+        held in the entry referenced by the partial entry's ``next_entry``
+        (a PC-holder row); a failing check dispatches the partial entry's
+        own (long) handler.
+        """
+        if partial_entry is None:
+            return HandlerKind.FULL, head.handler_pc
+        if partial_outcome:
+            holder = self.event_table.lookup(partial_entry.next_entry)
+            if holder is None:
+                raise ProgrammingError("partial entry's short-PC holder missing")
+            return HandlerKind.SHORT, holder.handler_pc
+        return HandlerKind.FULL, partial_entry.handler_pc
+
+    def _commit_update(
+        self,
+        entry: EventTableEntry,
+        event: MonitoredEvent,
+        metadata: Optional[OperandMetadata],
+    ) -> Optional[Tuple[str, int, int]]:
+        """Metadata Write stage: apply the Non-Blocking critical update."""
+        if metadata is None or not entry.update.is_active:
+            return None
+        new_value = compute_update(
+            entry.update, metadata.s1, metadata.s2, metadata.d, self.inv_rf
+        )
+        if new_value is None:
+            return None
+        if entry.d.valid and entry.d.mem:
+            if event.app_addr is None:
+                return None
+            word = ShadowMemory.word_address(event.app_addr)
+            if self.fsq is not None:
+                self.fsq.insert(word, new_value, event.sequence)
+            self.md_memory.write(word, new_value)
+            return ("mem", word, new_value)
+        if entry.d.valid and event.dest_reg is not None:
+            self.md_registers.write(event.dest_reg, new_value)
+            return ("reg", event.dest_reg, new_value)
+        return None

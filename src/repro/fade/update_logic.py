@@ -1,0 +1,127 @@
+"""Non-Blocking critical-metadata update rules (Section 5.2).
+
+When an event is unfilterable, the MD update logic computes the new value of
+the *filtering-critical* metadata directly in hardware so that dependent
+events can keep filtering while the software handler is still running.  The
+paper supports four rule families:
+
+1. propagating a source operand's metadata (s1 or s2) to the destination;
+2. composing the destination from the two sources with OR or AND;
+3. setting the destination to a constant held in an INV register (denoted by
+   the Non-Blocking/INV-id field of the event table entry);
+4. conditionally doing one of the above after comparing the sources to each
+   other, to the destination, or to a constant.
+
+The rules are encoded per event-table entry as an :class:`UpdateSpec`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Optional
+
+from repro.fade.inv_rf import InvariantRegisterFile
+
+
+class NonBlockRule(enum.Enum):
+    """Which update the MD update logic performs (rule families 1-3)."""
+
+    NONE = 0
+    PROP_S1 = 1
+    PROP_S2 = 2
+    COMPOSE_OR = 3
+    COMPOSE_AND = 4
+    SET_CONST = 5
+
+
+class NonBlockCondition(enum.Enum):
+    """Optional guard (rule family 4): update only if the comparison holds."""
+
+    ALWAYS = 0
+    S1_EQ_S2 = 1
+    S1_NE_S2 = 2
+    S1_EQ_DEST = 3
+    S1_NE_DEST = 4
+    S1_EQ_CONST = 5
+    S1_NE_CONST = 6
+
+
+@dataclasses.dataclass(frozen=True)
+class UpdateSpec:
+    """The Non-Blocking fields of one event-table entry.
+
+    ``inv_id`` names the INV register used both as the SET_CONST value and as
+    the constant of the *_CONST conditions.
+    """
+
+    rule: NonBlockRule = NonBlockRule.NONE
+    condition: NonBlockCondition = NonBlockCondition.ALWAYS
+    inv_id: int = 0
+
+    @property
+    def is_active(self) -> bool:
+        return self.rule is not NonBlockRule.NONE
+
+
+def compute_update(
+    spec: UpdateSpec,
+    s1: Optional[int],
+    s2: Optional[int],
+    dest: Optional[int],
+    inv_rf: InvariantRegisterFile,
+) -> Optional[int]:
+    """New critical-metadata value for the destination, or None for no update.
+
+    Operand values are the masked metadata bytes read in the Metadata Read
+    stage; ``None`` means the operand is not valid for this event.
+    """
+    if not spec.is_active:
+        return None
+    if not _condition_holds(spec, s1, s2, dest, inv_rf):
+        return None
+
+    if spec.rule is NonBlockRule.PROP_S1:
+        return s1
+    if spec.rule is NonBlockRule.PROP_S2:
+        return s2
+    if spec.rule is NonBlockRule.COMPOSE_OR:
+        return _compose(s1, s2, lambda a, b: a | b)
+    if spec.rule is NonBlockRule.COMPOSE_AND:
+        return _compose(s1, s2, lambda a, b: a & b)
+    if spec.rule is NonBlockRule.SET_CONST:
+        return inv_rf.read(spec.inv_id)
+    raise AssertionError(f"unhandled rule {spec.rule}")
+
+
+def _compose(s1: Optional[int], s2: Optional[int], op) -> Optional[int]:
+    if s1 is None:
+        return s2
+    if s2 is None:
+        return s1
+    return op(s1, s2)
+
+
+def _condition_holds(
+    spec: UpdateSpec,
+    s1: Optional[int],
+    s2: Optional[int],
+    dest: Optional[int],
+    inv_rf: InvariantRegisterFile,
+) -> bool:
+    condition = spec.condition
+    if condition is NonBlockCondition.ALWAYS:
+        return True
+    constant = inv_rf.read(spec.inv_id)
+    comparisons = {
+        NonBlockCondition.S1_EQ_S2: (s1, s2, True),
+        NonBlockCondition.S1_NE_S2: (s1, s2, False),
+        NonBlockCondition.S1_EQ_DEST: (s1, dest, True),
+        NonBlockCondition.S1_NE_DEST: (s1, dest, False),
+        NonBlockCondition.S1_EQ_CONST: (s1, constant, True),
+        NonBlockCondition.S1_NE_CONST: (s1, constant, False),
+    }
+    left, right, want_equal = comparisons[condition]
+    if left is None or right is None:
+        return False
+    return (left == right) is want_equal

@@ -1,0 +1,25 @@
+"""A SPARC-flavoured abstract ISA.
+
+FADE never interprets instruction semantics beyond the operand shape, so the
+ISA model only needs op classes, up to two source operands, one destination
+operand, and markers for control transfers that update the stack.  Event IDs
+index the 128-entry event table (Section 6: "covering the heavily used subset
+of the modeled ISA (SPARC)").
+"""
+
+from repro.isa.events import MonitoredEvent, StackOp, StackUpdate
+from repro.isa.instruction import Instruction, Operand, OperandKind
+from repro.isa.opcodes import EVENT_ID_BITS, MAX_EVENT_ID, OpClass, event_id_for
+
+__all__ = [
+    "EVENT_ID_BITS",
+    "Instruction",
+    "MAX_EVENT_ID",
+    "MonitoredEvent",
+    "OpClass",
+    "Operand",
+    "OperandKind",
+    "StackOp",
+    "StackUpdate",
+    "event_id_for",
+]

@@ -1,0 +1,104 @@
+"""Event records exchanged between the application core and FADE.
+
+:class:`MonitoredEvent` mirrors the event entry format of Figure 6(a):
+
+    ====================  ====
+    field                 bits
+    ====================  ====
+    event ID              6
+    app addr              32
+    app PC                32
+    src1 reg              5
+    src2 reg              5
+    dest reg              5
+    ====================  ====
+
+Stack updates (function call/return frame initialisation) are carried as a
+separate :class:`StackUpdate` record consumed by the Stack-Update Unit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Optional
+
+from repro.isa.instruction import Instruction, Operand, OperandKind
+from repro.isa.opcodes import OpClass
+
+
+class StackOp(enum.Enum):
+    """Direction of a stack update (Section 4.2)."""
+
+    CALL = "call"  # Frame allocated: metadata set to the call invariant.
+    RETURN = "return"  # Frame freed: metadata set to the return invariant.
+
+
+@dataclasses.dataclass(frozen=True)
+class StackUpdate:
+    """Bulk metadata initialisation request for a stack frame."""
+
+    op: StackOp
+    frame_base: int
+    frame_size: int
+
+    def __post_init__(self) -> None:
+        if self.frame_size < 0:
+            raise ValueError("frame_size must be non-negative")
+
+
+@dataclasses.dataclass(frozen=True)
+class MonitoredEvent:
+    """An application event enqueued for FADE (Figure 6(a)).
+
+    The operand registers are 5-bit indices; ``app_addr`` is present only for
+    memory instructions.  ``sequence`` is a simulation-side ordinal used for
+    dependence tracking and statistics, not an architectural field.
+    """
+
+    event_id: int
+    app_pc: int
+    app_addr: Optional[int] = None
+    src1_reg: Optional[int] = None
+    src2_reg: Optional[int] = None
+    dest_reg: Optional[int] = None
+    stack_update: Optional[StackUpdate] = None
+    sequence: int = 0
+
+    @property
+    def is_stack_update(self) -> bool:
+        return self.stack_update is not None
+
+    @staticmethod
+    def from_instruction(instruction: Instruction, sequence: int = 0) -> "MonitoredEvent":
+        """Build the architectural event record for a retired instruction."""
+        if instruction.op_class.is_stack_op:
+            op = StackOp.CALL if instruction.op_class is OpClass.CALL else StackOp.RETURN
+            return MonitoredEvent(
+                event_id=instruction.event_id,
+                app_pc=instruction.pc,
+                stack_update=StackUpdate(
+                    op=op,
+                    frame_base=instruction.frame_base,
+                    frame_size=instruction.frame_size,
+                ),
+                sequence=sequence,
+            )
+
+        def register_of(operand: Optional[Operand]) -> Optional[int]:
+            if operand is not None and operand.kind is OperandKind.REGISTER:
+                return operand.value
+            return None
+
+        sources = instruction.sources
+        src1 = sources[0] if len(sources) >= 1 else None
+        src2 = sources[1] if len(sources) >= 2 else None
+        return MonitoredEvent(
+            event_id=instruction.event_id,
+            app_pc=instruction.pc,
+            app_addr=instruction.memory_address,
+            src1_reg=register_of(src1),
+            src2_reg=register_of(src2),
+            dest_reg=register_of(instruction.dest),
+            sequence=sequence,
+        )

@@ -1,0 +1,19 @@
+"""Memory-system timing models: set-associative caches, TLBs, hierarchy.
+
+These are the substrate under both the application core (L1/L2/DRAM of
+Table 1) and FADE's metadata cache (Section 4.1).
+"""
+
+from repro.mem.cache import Cache, CacheConfig, CacheStats
+from repro.mem.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.mem.tlb import Tlb, TlbStats
+
+__all__ = [
+    "Cache",
+    "CacheConfig",
+    "CacheStats",
+    "HierarchyConfig",
+    "MemoryHierarchy",
+    "Tlb",
+    "TlbStats",
+]

@@ -1,0 +1,130 @@
+"""A set-associative cache timing model with true LRU replacement.
+
+Only timing state (tags and recency) is modelled; data travel through the
+functional shadow structures.  The model is deliberately small and fast: a
+single dict lookup per access on the hit path, because the application-core
+model performs one cache access per load/store of the trace.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and latency of one cache level.
+
+    Attributes:
+        size_bytes: total capacity.
+        associativity: ways per set.
+        block_bytes: cache-block size.
+        latency: access (hit) latency in cycles.
+        name: label used in statistics output.
+    """
+
+    size_bytes: int
+    associativity: int
+    block_bytes: int
+    latency: int
+    name: str = "cache"
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.associativity <= 0 or self.block_bytes <= 0:
+            raise ConfigurationError(f"{self.name}: sizes must be positive")
+        if self.size_bytes % (self.associativity * self.block_bytes) != 0:
+            raise ConfigurationError(
+                f"{self.name}: size {self.size_bytes} not divisible by "
+                f"associativity*block ({self.associativity}*{self.block_bytes})"
+            )
+        num_sets = self.size_bytes // (self.associativity * self.block_bytes)
+        if num_sets & (num_sets - 1) != 0:
+            raise ConfigurationError(f"{self.name}: set count {num_sets} not a power of two")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.associativity * self.block_bytes)
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Hit/miss counters for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+
+class Cache:
+    """One level of set-associative cache with LRU replacement.
+
+    ``access`` returns ``True`` on a hit.  The caller composes levels into a
+    hierarchy (see :mod:`repro.mem.hierarchy`); this class knows nothing about
+    what backs it.
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.stats = CacheStats()
+        # One OrderedDict per set: tag -> None, most recent last.
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(config.num_sets)]
+
+    def _locate(self, address: int) -> tuple:
+        block = address // self.config.block_bytes
+        return block % self.config.num_sets, block // self.config.num_sets
+
+    def access(self, address: int) -> bool:
+        """Look up ``address``; allocate on miss.  Returns hit status."""
+        set_index, tag = self._locate(address)
+        ways = self._sets[set_index]
+        if tag in ways:
+            ways.move_to_end(tag)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if len(ways) >= self.config.associativity:
+            ways.popitem(last=False)
+            self.stats.evictions += 1
+        ways[tag] = None
+        return False
+
+    def probe(self, address: int) -> bool:
+        """Check residency without updating recency or statistics."""
+        set_index, tag = self._locate(address)
+        return tag in self._sets[set_index]
+
+    def invalidate(self, address: int) -> bool:
+        """Drop the block containing ``address`` if resident."""
+        set_index, tag = self._locate(address)
+        ways = self._sets[set_index]
+        if tag in ways:
+            del ways[tag]
+            return True
+        return False
+
+    def resident_blocks(self) -> int:
+        """Number of blocks currently resident (for invariants/tests)."""
+        return sum(len(ways) for ways in self._sets)
+
+    def flush(self) -> None:
+        for ways in self._sets:
+            ways.clear()

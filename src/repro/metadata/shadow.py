@@ -1,0 +1,102 @@
+"""Byte-granular shadow (metadata) memory and shadow registers.
+
+The modelled metadata layout is the paper's common case: **one metadata byte
+per application word** (e.g. AtomCheck "maintains one byte of critical
+metadata per application word", Section 6; MemCheck/AddrCheck state fits in
+two bits).  The metadata address of application word ``a`` is ``a >> 2``,
+which is what the MD cache is indexed with.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from repro.common.units import WORD_SIZE, words_in_range
+
+
+class ShadowMemory:
+    """Sparse map from application word address to one metadata byte.
+
+    Reads of never-written words return ``default`` — the monitor's encoding
+    of "unshadowed" state (usually *unallocated*).
+    """
+
+    def __init__(self, default: int = 0) -> None:
+        if not 0 <= default <= 0xFF:
+            raise ValueError("metadata bytes must fit in 8 bits")
+        self.default = default
+        self._bytes: Dict[int, int] = {}
+
+    @staticmethod
+    def word_address(address: int) -> int:
+        """Word-align an application byte address."""
+        return address - (address % WORD_SIZE)
+
+    def read(self, address: int) -> int:
+        """Metadata byte of the word containing ``address``."""
+        return self._bytes.get(self.word_address(address), self.default)
+
+    def write(self, address: int, value: int) -> bool:
+        """Set the metadata byte; returns True if the value changed."""
+        if not 0 <= value <= 0xFF:
+            raise ValueError("metadata bytes must fit in 8 bits")
+        word = self.word_address(address)
+        old = self._bytes.get(word, self.default)
+        if old == value:
+            return False
+        if value == self.default:
+            self._bytes.pop(word, None)
+        else:
+            self._bytes[word] = value
+        return True
+
+    def bulk_set(self, start: int, length: int, value: int) -> int:
+        """Set every word in ``[start, start+length)``; returns words touched.
+
+        This is the operation the Stack-Update Unit performs in hardware and
+        malloc/free handlers perform in software.
+        """
+        touched = 0
+        for word in words_in_range(start, length):
+            self.write(word, value)
+            touched += 1
+        return touched
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        """Non-default (word address, byte) pairs, unordered."""
+        return iter(self._bytes.items())
+
+    def snapshot(self) -> Dict[int, int]:
+        """Copy of the non-default contents (for equivalence tests)."""
+        return dict(self._bytes)
+
+    def __len__(self) -> int:
+        return len(self._bytes)
+
+
+class ShadowRegisters:
+    """One metadata byte per architectural register (the MD RF's contents)."""
+
+    def __init__(self, num_registers: int = 32, default: int = 0) -> None:
+        self.num_registers = num_registers
+        self.default = default
+        self._bytes = [default] * num_registers
+
+    def read(self, index: int) -> int:
+        return self._bytes[index]
+
+    def write(self, index: int, value: int) -> bool:
+        """Set a register's metadata byte; returns True if it changed."""
+        if not 0 <= value <= 0xFF:
+            raise ValueError("metadata bytes must fit in 8 bits")
+        if self._bytes[index] == value:
+            return False
+        self._bytes[index] = value
+        return True
+
+    def reset(self) -> None:
+        for index in range(self.num_registers):
+            self._bytes[index] = self.default
+
+    def snapshot(self) -> Tuple[int, ...]:
+        return tuple(self._bytes)

@@ -1,0 +1,116 @@
+"""Software-handler cost model.
+
+Handler costs are expressed in *monitor-core instructions*; the system model
+converts them to cycles with the handler IPC of the configured core type
+(handlers are short, cache-resident instruction sequences with high ILP, so
+they run up to ~3x faster on a 4-way OoO core than in-order — Section 7.3).
+
+The constants below are calibrated so that the unaccelerated and
+FADE-enabled systems land in the paper's measured slowdown ranges
+(Figure 9); EXPERIMENTS.md records the calibration outcome.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class HandlerCosts:
+    """Instruction counts of one monitor's software handlers.
+
+    The first three correspond to the instruction-event paths:
+    ``clean_check`` (handler checks, finds everything clean, exits),
+    ``redundant_update`` (check plus rewrite of an unchanged value), and
+    ``update`` (the metadata actually changes).  ``complex_op`` is the
+    heavyweight path (reference-count churn, interleaving analysis);
+    ``partial_short`` is the reduced handler dispatched when FADE's partial
+    check passed — the hardware already performed the check, eliding "the
+    code associated with the check itself, control flow, and register spills
+    and fills" (Section 4.1).
+    """
+
+    clean_check: int = 12
+    redundant_update: int = 16
+    update: int = 26
+    complex_op: int = 60
+    partial_short: int = 10
+    report: int = 400  # Formatting and recording a bug report.
+
+    stack_update_base: int = 12
+    stack_update_per_word: float = 1.0
+
+    malloc_base: int = 60
+    malloc_per_word: float = 1.0
+    free_base: int = 50
+    free_per_word: float = 1.0
+    taint_source_base: int = 40
+    taint_source_per_word: float = 1.0
+    thread_switch: int = 24
+
+    def stack_update(self, words: int) -> int:
+        return self.stack_update_base + int(self.stack_update_per_word * words)
+
+    def malloc(self, words: int) -> int:
+        return self.malloc_base + int(self.malloc_per_word * words)
+
+    def free(self, words: int) -> int:
+        return self.free_base + int(self.free_per_word * words)
+
+    def taint_source(self, words: int) -> int:
+        return self.taint_source_base + int(self.taint_source_per_word * words)
+
+
+#: Per-monitor handler costs.  Memory-tracking monitors have cheap handlers;
+#: propagation trackers and AtomCheck's interleaving analysis are costly —
+#: "although AtomCheck is a memory-tracking monitor with a low event
+#: generation rate ... the events are costly due to numerous monitoring
+#: actions" (Section 7.2).
+ADDRCHECK_COSTS = HandlerCosts(
+    clean_check=4,
+    redundant_update=6,
+    update=20,
+    complex_op=30,
+    stack_update_base=10,
+    stack_update_per_word=0.8,
+    malloc_base=40,
+    free_base=35,
+)
+
+MEMCHECK_COSTS = HandlerCosts(
+    clean_check=13,
+    redundant_update=16,
+    update=12,
+    complex_op=30,
+    stack_update_base=10,
+    malloc_base=40,
+)
+
+TAINTCHECK_COSTS = HandlerCosts(
+    clean_check=12,
+    redundant_update=14,
+    update=11,
+    complex_op=30,
+    taint_source_base=30,
+    taint_source_per_word=1.2,
+)
+
+MEMLEAK_COSTS = HandlerCosts(
+    clean_check=14,
+    redundant_update=18,
+    update=18,
+    complex_op=26,
+    stack_update_base=10,
+    malloc_base=80,
+    free_base=60,
+    free_per_word=1.2,
+)
+
+ATOMCHECK_COSTS = HandlerCosts(
+    clean_check=20,
+    redundant_update=22,
+    update=16,
+    complex_op=52,
+    partial_short=8,
+    thread_switch=30,
+)

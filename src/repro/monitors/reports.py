@@ -1,0 +1,36 @@
+"""Bug reports produced by monitors."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Optional
+
+
+class BugKind(enum.Enum):
+    """The bug classes covered by the five monitors (Section 6)."""
+
+    INVALID_READ = "invalid-read"  # AddrCheck/MemCheck: access to unallocated.
+    INVALID_WRITE = "invalid-write"
+    UNINITIALIZED_USE = "uninitialized-use"  # MemCheck: use of undefined value.
+    TAINTED_JUMP = "tainted-jump"  # TaintCheck: control flow from tainted data.
+    MEMORY_LEAK = "memory-leak"  # MemLeak: allocation with no live references.
+    ATOMICITY_VIOLATION = "atomicity-violation"  # AtomCheck: AVIO interleaving.
+
+
+@dataclasses.dataclass(frozen=True)
+class BugReport:
+    """One detected bug occurrence."""
+
+    monitor: str
+    kind: BugKind
+    pc: int = 0
+    address: Optional[int] = None
+    thread: int = 0
+    message: str = ""
+
+    def __str__(self) -> str:
+        location = f"pc={self.pc:#x}"
+        if self.address is not None:
+            location += f" addr={self.address:#x}"
+        return f"[{self.monitor}] {self.kind.value} at {location}: {self.message}"

@@ -1,0 +1,24 @@
+"""Analytical area/power models standing in for Synopsys DC + CACTI 6.5.
+
+The paper synthesises FADE's RTL in TSMC 40 nm at 2 GHz (0.09 mm², 122 mW
+peak) and models the 4 KB MD cache with CACTI (0.03 mm², 151 mW peak,
+0.3 ns).  We reproduce the component-level accounting with per-bit and
+per-gate constants calibrated to 40 nm.
+"""
+
+from repro.power.area_model import (
+    ComponentEstimate,
+    Technology,
+    fade_area_power_report,
+    fade_component_inventory,
+)
+from repro.power.cacti_lite import CactiLiteResult, estimate_sram_cache
+
+__all__ = [
+    "CactiLiteResult",
+    "ComponentEstimate",
+    "Technology",
+    "estimate_sram_cache",
+    "fade_area_power_report",
+    "fade_component_inventory",
+]

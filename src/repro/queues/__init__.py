@@ -1,0 +1,10 @@
+"""Bounded FIFO queues with occupancy statistics and backpressure.
+
+The event queue (32 entries) and the unfiltered event queue (16 entries) of
+the paper are both instances of :class:`BoundedQueue`; the occupancy
+histogram feeds the Figure 3 reproduction.
+"""
+
+from repro.queues.bounded import BoundedQueue, QueueStats
+
+__all__ = ["BoundedQueue", "QueueStats"]

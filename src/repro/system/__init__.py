@@ -1,0 +1,23 @@
+"""Full monitoring-system models.
+
+Assembles application core, queues, FADE and the monitor core into the four
+evaluated systems (Figure 8 plus their unaccelerated counterparts):
+
+* single-core dual-threaded (SMT) — app and monitor share one core;
+* two-core — dedicated application and monitor cores;
+
+each with or without FADE, over the three core types of Table 1.
+"""
+
+from repro.system.config import SystemConfig, Topology
+from repro.system.results import CycleBreakdown, RunResult
+from repro.system.simulator import MonitoringSimulation, simulate
+
+__all__ = [
+    "CycleBreakdown",
+    "MonitoringSimulation",
+    "RunResult",
+    "SystemConfig",
+    "Topology",
+    "simulate",
+]

@@ -1,0 +1,67 @@
+"""System configuration (Table 1 plus Section 6 defaults)."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Optional
+
+from repro.common.errors import ConfigurationError
+from repro.cores.base import CoreType
+from repro.fade.md_cache import MetadataCacheConfig
+from repro.mem.hierarchy import HierarchyConfig
+
+
+class Topology(enum.Enum):
+    """The two evaluated system organisations (Figure 8)."""
+
+    #: One dual-threaded core shared by application and monitor threads.
+    SINGLE_CORE_SMT = "single-core"
+    #: Separate application and monitor cores; FADE next to the monitor core.
+    TWO_CORE = "two-core"
+
+
+@dataclasses.dataclass(frozen=True)
+class SystemConfig:
+    """Everything needed to instantiate one monitoring system."""
+
+    core_type: CoreType = CoreType.OOO4
+    topology: Topology = Topology.SINGLE_CORE_SMT
+    fade_enabled: bool = True
+    #: Non-Blocking Filtering (Section 5); ignored when FADE is disabled.
+    non_blocking: bool = True
+    #: Event queue capacity; None models the infinite queue of Section 3.2.
+    event_queue_capacity: Optional[int] = 32
+    unfiltered_queue_capacity: int = 16
+    fsq_capacity: int = 16
+    md_cache: MetadataCacheConfig = MetadataCacheConfig()
+    hierarchy: HierarchyConfig = HierarchyConfig()
+    #: Sample queue occupancies every cycle (Figure 3 data; small cost).
+    sample_queue_occupancy: bool = True
+    #: Unfiltered events closer than this (in filterable events) belong to
+    #: the same burst (Section 3.4's definition uses 16).
+    burst_gap_threshold: int = 16
+    #: Drain the unfiltered event queue before SUU stack updates (Section
+    #: 5.2).  Disabling this is an *unsound* ablation used to quantify what
+    #: the drain requirement costs.
+    stack_update_drain: bool = True
+    #: Safety limit for the cycle loop.
+    max_cycles: int = 500_000_000
+
+    def __post_init__(self) -> None:
+        if self.event_queue_capacity is not None and self.event_queue_capacity <= 0:
+            raise ConfigurationError("event queue capacity must be positive or None")
+        if self.unfiltered_queue_capacity <= 0:
+            raise ConfigurationError("unfiltered queue capacity must be positive")
+
+    @property
+    def is_smt(self) -> bool:
+        return self.topology is Topology.SINGLE_CORE_SMT
+
+    def describe(self) -> str:
+        fade = (
+            ("non-blocking" if self.non_blocking else "blocking") + " FADE"
+            if self.fade_enabled
+            else "unaccelerated"
+        )
+        return f"{self.topology.value}/{self.core_type.value}/{fade}"

@@ -1,0 +1,139 @@
+"""Run results: every statistic the paper's figures draw on."""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from typing import Dict, List, Optional
+
+from repro.fade.accelerator import FadeStats
+from repro.monitors.base import HandlerClass
+from repro.monitors.reports import BugReport
+from repro.queues.bounded import QueueStats
+
+
+@dataclasses.dataclass
+class CycleBreakdown:
+    """Per-cycle utilisation classification (Figure 11(b)).
+
+    ``app_idle``: the application core is blocked because the event queue is
+    full.  ``monitor_idle``: the monitor core has no handler work (FADE is
+    filtering everything).  ``both_busy``: both cores are doing useful work.
+    """
+
+    app_idle: int = 0
+    monitor_idle: int = 0
+    both_busy: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.app_idle + self.monitor_idle + self.both_busy
+
+    def percentages(self) -> Dict[str, float]:
+        total = max(1, self.total)
+        return {
+            "app_idle": 100.0 * self.app_idle / total,
+            "monitor_idle": 100.0 * self.monitor_idle / total,
+            "both_busy": 100.0 * self.both_busy / total,
+        }
+
+
+@dataclasses.dataclass
+class RunResult:
+    """Outcome of simulating one (benchmark, monitor, system) triple."""
+
+    benchmark: str
+    monitor: str
+    system: str
+
+    cycles: float = 0.0
+    baseline_cycles: float = 0.0
+    instructions: int = 0
+
+    monitored_events: int = 0  # Instruction events (excludes stack updates).
+    stack_update_events: int = 0
+    high_level_events: int = 0
+
+    #: Software handler instructions by handler class (Figure 4(a)).
+    handler_instructions: Dict[HandlerClass, float] = dataclasses.field(
+        default_factory=dict
+    )
+    handlers_executed: int = 0
+
+    fade_stats: Optional[FadeStats] = None
+    event_queue_stats: Optional[QueueStats] = None
+    work_queue_stats: Optional[QueueStats] = None
+
+    #: Histogram: distance (in filterable events) between consecutive
+    #: unfiltered events (Figure 4(b)).
+    unfiltered_distances: Counter = dataclasses.field(default_factory=Counter)
+    #: Sizes of unfiltered bursts under the 16-event gap rule (Figure 4(c)).
+    unfiltered_burst_sizes: List[int] = dataclasses.field(default_factory=list)
+
+    cycle_breakdown: CycleBreakdown = dataclasses.field(default_factory=CycleBreakdown)
+    app_blocked_cycles: int = 0
+    monitor_busy_cycles: int = 0
+    fade_drain_cycles: int = 0
+    fade_wait_cycles: int = 0
+
+    reports: List[BugReport] = dataclasses.field(default_factory=list)
+
+    # ------------------------------------------------------------ derived
+
+    @property
+    def slowdown(self) -> float:
+        """Run time normalised to the unmonitored application (Figure 9)."""
+        if self.baseline_cycles <= 0:
+            return float("nan")
+        return self.cycles / self.baseline_cycles
+
+    @property
+    def app_ipc(self) -> float:
+        """Unmonitored application IPC (Figure 2 upper stack)."""
+        if self.baseline_cycles <= 0:
+            return 0.0
+        return self.instructions / self.baseline_cycles
+
+    @property
+    def monitored_ipc(self) -> float:
+        """Monitored events per unmonitored-application cycle (Figure 2)."""
+        if self.baseline_cycles <= 0:
+            return 0.0
+        return (self.monitored_events + self.stack_update_events) / self.baseline_cycles
+
+    @property
+    def filtering_ratio(self) -> float:
+        """Fraction of instruction-event handlers elided (Table 2)."""
+        if self.fade_stats is None:
+            return 0.0
+        return self.fade_stats.filtering_ratio
+
+    @property
+    def average_burst_size(self) -> float:
+        if not self.unfiltered_burst_sizes:
+            return 0.0
+        return sum(self.unfiltered_burst_sizes) / len(self.unfiltered_burst_sizes)
+
+    def handler_time_percentages(self) -> Dict[str, float]:
+        """Execution-time shares of the software handler classes (Fig. 4(a))."""
+        total = sum(self.handler_instructions.values())
+        if total <= 0:
+            return {}
+        return {
+            handler_class.value: 100.0 * cost / total
+            for handler_class, cost in sorted(
+                self.handler_instructions.items(), key=lambda kv: kv[0].value
+            )
+        }
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.benchmark}/{self.monitor} on {self.system}:",
+            f"slowdown {self.slowdown:.2f}x",
+            f"({self.cycles:.0f} vs {self.baseline_cycles:.0f} cycles)",
+        ]
+        if self.fade_stats is not None:
+            parts.append(f"filtering {100 * self.filtering_ratio:.1f}%")
+        if self.reports:
+            parts.append(f"{len(self.reports)} bug report(s)")
+        return " ".join(parts)

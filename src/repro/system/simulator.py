@@ -1,0 +1,508 @@
+"""The coupled cycle-level simulation of application, FADE and monitor.
+
+Follows the event-processing flow of Figure 1:
+
+    app core --[event queue]--> FADE --[unfiltered event queue]--> monitor
+
+The application core replays a precomputed retirement schedule (see
+:mod:`repro.cores.retire`); enqueueing a monitored event into a full event
+queue blocks retirement (backpressure).  FADE dequeues one event per cycle at
+peak, occupies extra cycles for multi-shot chains and MD-cache misses, runs
+stack updates on the SUU after draining the unfiltered queue (Section 5.2),
+and — in blocking mode — stalls until the monitor finishes each unfiltered
+event.  The monitor core executes software handlers at its handler IPC; in
+the single-core (SMT) topology application and monitor threads each get half
+throughput while the other is active.
+
+Unaccelerated systems are the same loop with FADE removed: every monitored
+event travels through a single queue straight to the monitor.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import math
+from typing import List, Optional, Tuple, Union
+
+from repro.common.errors import SimulationError
+from repro.cores.base import CORE_PARAMETERS
+from repro.cores.retire import RetireModel
+from repro.fade.accelerator import Fade, FadeConfig
+from repro.fade.pipeline import HandlerKind
+from repro.isa.events import MonitoredEvent
+from repro.isa.instruction import Instruction
+from repro.monitors.base import HandlerClass, Monitor
+from repro.queues.bounded import BoundedQueue
+from repro.system.config import SystemConfig, Topology
+from repro.system.results import CycleBreakdown, RunResult
+from repro.workload.profile import BenchmarkProfile
+from repro.workload.trace import HighLevelEvent, Trace
+
+
+class _ItemKind(enum.Enum):
+    INSTRUCTION_EVENT = "event"
+    STACK_UPDATE = "stack"
+    HIGH_LEVEL = "high-level"
+
+
+@dataclasses.dataclass
+class _WorkItem:
+    """One unit of monitor-software work."""
+
+    kind: _ItemKind
+    payload: Union[MonitoredEvent, HighLevelEvent]
+    handler_kind: HandlerKind = HandlerKind.FULL
+
+    @property
+    def sequence(self) -> int:
+        if isinstance(self.payload, MonitoredEvent):
+            return self.payload.sequence
+        return -1
+
+
+class MonitoringSimulation:
+    """One simulation run of a (trace, monitor, system) triple."""
+
+    def __init__(
+        self,
+        trace: Trace,
+        monitor: Monitor,
+        config: SystemConfig,
+        profile: Optional[BenchmarkProfile] = None,
+        warmup_items: int = 0,
+    ) -> None:
+        """``warmup_items`` leading trace items are applied functionally at
+        zero cost before timing starts — the analogue of the paper's SMARTS
+        checkpoints with warmed caches and metadata (Section 6)."""
+        self.trace = trace
+        self.monitor = monitor
+        self.config = config
+        self.profile = profile
+        self.warmup_items = min(warmup_items, max(0, len(trace.items) - 1))
+        self._params = CORE_PARAMETERS[config.core_type]
+
+        bubble_prob = profile.bubble_prob if profile is not None else 0.0
+        bubble_mean = profile.bubble_mean if profile is not None else 6.0
+        self._schedule = RetireModel(
+            core_type=config.core_type,
+            bubble_prob=bubble_prob,
+            bubble_mean=bubble_mean,
+            hierarchy_config=config.hierarchy,
+        ).schedule(trace)
+
+        self.fade: Optional[Fade] = None
+        if config.fade_enabled:
+            self.fade = Fade(
+                program=monitor.fade_program(),
+                md_registers=monitor.critical_regs,
+                md_memory=monitor.critical_mem,
+                config=FadeConfig(
+                    non_blocking=config.non_blocking,
+                    fsq_capacity=config.fsq_capacity,
+                    md_cache=config.md_cache,
+                ),
+            )
+
+        # The queue FADE reads (event queue) and the queue the monitor reads
+        # (unfiltered event queue with FADE; the single event queue without).
+        if config.fade_enabled:
+            self.event_queue: BoundedQueue = BoundedQueue(
+                config.event_queue_capacity, name="event-queue"
+            )
+            self.work_queue: BoundedQueue = BoundedQueue(
+                config.unfiltered_queue_capacity, name="unfiltered-queue"
+            )
+        else:
+            self.event_queue = BoundedQueue(
+                config.event_queue_capacity, name="event-queue"
+            )
+            self.work_queue = self.event_queue
+
+        # Precompute the per-item delivery plan.
+        self._plan: List[Optional[_WorkItem]] = []
+        monitored = 0
+        stack_events = 0
+        high_level = 0
+        for index, item in enumerate(trace):
+            if isinstance(item, Instruction):
+                if monitor.wants(item):
+                    event = MonitoredEvent.from_instruction(item, sequence=index)
+                    if event.is_stack_update:
+                        stack_events += 1
+                        self._plan.append(
+                            _WorkItem(_ItemKind.STACK_UPDATE, event)
+                        )
+                    else:
+                        monitored += 1
+                        self._plan.append(
+                            _WorkItem(_ItemKind.INSTRUCTION_EVENT, event)
+                        )
+                else:
+                    self._plan.append(None)
+            else:
+                high_level += 1
+                self._plan.append(_WorkItem(_ItemKind.HIGH_LEVEL, item))
+
+        self.result = RunResult(
+            benchmark=trace.name,
+            monitor=monitor.name,
+            system=config.describe(),
+            baseline_cycles=self._schedule[-1] if self._schedule else 0.0,
+            instructions=trace.num_instructions,
+            monitored_events=monitored,
+            stack_update_events=stack_events,
+            high_level_events=high_level,
+        )
+        self._timed_started_at = 0.0
+
+        # --- mutable run state ------------------------------------------------
+        self._now = 0
+        self._app_index = 0
+        self._app_progress = 0.0
+        self._app_blocked = False
+        self._monitor_item: Optional[_WorkItem] = None
+        self._monitor_remaining = 0.0
+        self._fade_ready_at = 0
+        self._fade_wait_seq: Optional[int] = None
+        self._fade_draining = False
+        # Figure 4(b, c) tracking.
+        self._filterable_gap = 0
+        self._current_burst = 0
+        self._saw_unfiltered = False
+
+    # ------------------------------------------------------------------ run
+
+    def _run_warmup(self) -> None:
+        """Apply the leading ``warmup_items`` functionally, then reset every
+        statistic so timing starts from a warmed state."""
+        count = self.warmup_items
+        if count <= 0:
+            return
+        fade = self.fade
+        instructions_warmed = 0
+        monitored = stack = high = 0
+        for index in range(count):
+            if isinstance(self.trace.items[index], Instruction):
+                instructions_warmed += 1
+            item = self._plan[index]
+            if item is None:
+                continue
+            if item.kind is _ItemKind.INSTRUCTION_EVENT:
+                monitored += 1
+                if fade is not None:
+                    outcome = fade.process_event(item.payload)
+                    kind = outcome.handler_kind
+                    if not outcome.filtered:
+                        self.monitor.handle_event(item.payload, kind)
+                        fade.handler_completed(item.payload.sequence)
+                else:
+                    self.monitor.handle_event(item.payload)
+            elif item.kind is _ItemKind.STACK_UPDATE:
+                stack += 1
+                update = item.payload.stack_update
+                if fade is not None and fade.suu is not None:
+                    fade.process_stack_update(update)
+                    self.monitor.on_suu_stack_update(update)
+                else:
+                    self.monitor.handle_stack_update(update)
+            else:
+                high += 1
+                if fade is not None:
+                    for inv_id, value in self.monitor.runtime_invariant_updates(
+                        item.payload
+                    ):
+                        fade.write_invariant(inv_id, value)
+                self.monitor.handle_high_level(item.payload)
+        # Reset statistics gathered during warmup.
+        self.monitor.reports.clear()
+        if fade is not None:
+            from repro.fade.accelerator import FadeStats
+
+            fade.stats = FadeStats()
+        self._app_index = count
+        self._app_progress = self._schedule[count - 1]
+        self._timed_started_at = self._schedule[count - 1]
+        # Report only the timed region's counts.
+        self.result.instructions -= instructions_warmed
+        self.result.monitored_events -= monitored
+        self.result.stack_update_events -= stack
+        self.result.high_level_events -= high
+        self.result.baseline_cycles = self._schedule[-1] - self._timed_started_at
+
+    def run(self) -> RunResult:
+        self._run_warmup()
+        config = self.config
+        max_cycles = config.max_cycles
+        sample = config.sample_queue_occupancy
+        while not self._done():
+            if self._now >= max_cycles:
+                raise SimulationError(
+                    f"cycle limit {max_cycles} exceeded "
+                    f"({self.result.benchmark}/{self.result.monitor})"
+                )
+            monitor_busy = self._monitor_step()
+            if self.fade is not None:
+                self._fade_step()
+            self._app_step(monitor_busy)
+            if sample:
+                self.event_queue.sample_occupancy()
+                if self.work_queue is not self.event_queue:
+                    self.work_queue.sample_occupancy()
+            self._classify_cycle(monitor_busy)
+            self._now += 1
+
+        self._finish_burst()
+        self.result.cycles = float(self._now)
+        self.result.reports = list(self.monitor.reports)
+        if self.fade is not None:
+            self.result.fade_stats = self.fade.stats
+        self.result.event_queue_stats = self.event_queue.stats
+        if self.work_queue is not self.event_queue:
+            self.result.work_queue_stats = self.work_queue.stats
+        return self.result
+
+    def _done(self) -> bool:
+        if self._app_index < len(self._plan):
+            return False
+        if not self.event_queue.is_empty or not self.work_queue.is_empty:
+            return False
+        if self._monitor_item is not None:
+            return False
+        if self.fade is not None:
+            if self._fade_ready_at > self._now or self._fade_draining:
+                return False
+            if self._fade_wait_seq is not None:
+                return False
+        return True
+
+    # -------------------------------------------------------------- monitor
+
+    def _monitor_step(self) -> bool:
+        """Advance monitor-software execution; returns busy status."""
+        share = 1.0
+        if self.config.is_smt and not self._app_finished and not self._app_blocked:
+            share = 0.5
+        budget = self._params.handler_ipc * share
+        was_busy = self._monitor_item is not None or not self.work_queue.is_empty
+        while budget > 0.0:
+            if self._monitor_item is None:
+                if self.work_queue.is_empty:
+                    break
+                self._dispatch_handler(self.work_queue.dequeue())
+            take = min(budget, self._monitor_remaining)
+            self._monitor_remaining -= take
+            budget -= take
+            if self._monitor_remaining <= 1e-9:
+                self._complete_handler()
+        if was_busy:
+            self.result.monitor_busy_cycles += 1
+        return self._monitor_item is not None or not self.work_queue.is_empty
+
+    def _dispatch_handler(self, item: _WorkItem) -> None:
+        """Start one software handler; functional effects apply here."""
+        if item.kind is _ItemKind.INSTRUCTION_EVENT:
+            outcome = self.monitor.handle_event(item.payload, item.handler_kind)
+        elif item.kind is _ItemKind.STACK_UPDATE:
+            outcome = self.monitor.handle_stack_update(item.payload.stack_update)
+        else:
+            outcome = self.monitor.handle_high_level(item.payload)
+        totals = self.result.handler_instructions
+        totals[outcome.handler_class] = totals.get(outcome.handler_class, 0.0) + outcome.cost
+        self.result.handlers_executed += 1
+        if self.fade is None and item.kind is _ItemKind.INSTRUCTION_EVENT:
+            # Unaccelerated runs still record what *would* be filterable for
+            # the Figure 4(b, c) motivation study: handlers that turned out
+            # to be clean checks or redundant updates.
+            filterable = outcome.handler_class in (
+                HandlerClass.CLEAN_CHECK,
+                HandlerClass.REDUNDANT_UPDATE,
+            )
+            self._track_filtering(filterable)
+        self._monitor_item = item
+        self._monitor_remaining = float(outcome.cost)
+
+    def _complete_handler(self) -> None:
+        item = self._monitor_item
+        self._monitor_item = None
+        self._monitor_remaining = 0.0
+        if item is None:
+            return
+        if self.fade is not None and item.kind is _ItemKind.INSTRUCTION_EVENT:
+            self.fade.handler_completed(item.sequence)
+            if self._fade_wait_seq == item.sequence:
+                self._fade_wait_seq = None
+
+    # ----------------------------------------------------------------- FADE
+
+    def _fade_step(self) -> None:
+        fade = self.fade
+        assert fade is not None
+        if self._fade_ready_at > self._now:
+            return
+        if self._fade_wait_seq is not None:
+            self.result.fade_wait_cycles += 1
+            return
+        if self._fade_draining:
+            if self._unfiltered_drained:
+                self._fade_draining = False
+            else:
+                self.result.fade_drain_cycles += 1
+                return
+        if self.event_queue.is_empty:
+            return
+
+        item: _WorkItem = self.event_queue.peek()
+        if item.kind is _ItemKind.STACK_UPDATE:
+            # Section 5.2: pending unfiltered events may reference the frame;
+            # the consumer must drain the queue before SUU processing.
+            if self.config.stack_update_drain and not self._unfiltered_drained:
+                self._fade_draining = True
+                self.result.fade_drain_cycles += 1
+                return
+            self.event_queue.dequeue()
+            update = item.payload.stack_update
+            cycles = fade.process_stack_update(update)
+            self.monitor.on_suu_stack_update(update)
+            self._fade_ready_at = self._now + cycles
+            return
+
+        if item.kind is _ItemKind.HIGH_LEVEL:
+            if self.work_queue.is_full:
+                return
+            self.event_queue.dequeue()
+            for inv_id, value in self.monitor.runtime_invariant_updates(item.payload):
+                fade.write_invariant(inv_id, value)
+            self.work_queue.enqueue(item)
+            self._fade_ready_at = self._now + 1
+            return
+
+        # Instruction event.  Conservatively require space in the unfiltered
+        # queue and the FSQ before starting (hardware would stall mid-pipe).
+        if self.work_queue.is_full or fade.fsq_full:
+            return
+        self.event_queue.dequeue()
+        event = item.payload
+        outcome = fade.process_event(event)
+        busy = outcome.occupancy_cycles
+        if outcome.tlb_miss:
+            busy += math.ceil(
+                fade.config.md_cache.tlb_service_instructions
+                / self._params.handler_ipc
+            )
+        self._fade_ready_at = self._now + busy
+        self._track_filtering(outcome.filtered)
+        if not outcome.filtered:
+            self.work_queue.enqueue(
+                _WorkItem(
+                    _ItemKind.INSTRUCTION_EVENT,
+                    event,
+                    handler_kind=outcome.handler_kind,
+                )
+            )
+            if not fade.non_blocking:
+                self._fade_wait_seq = event.sequence
+
+    @property
+    def _unfiltered_drained(self) -> bool:
+        return self.work_queue.is_empty and self._monitor_item is None
+
+    # ------------------------------------------------------------------ app
+
+    @property
+    def _app_finished(self) -> bool:
+        return self._app_index >= len(self._plan)
+
+    def _app_step(self, monitor_busy: bool) -> None:
+        if self._app_finished:
+            return
+        if self._app_blocked:
+            if not self._try_deliver(self._app_index):
+                self.result.app_blocked_cycles += 1
+                return
+            self._app_index += 1
+            self._app_blocked = False
+        share = 1.0
+        if self.config.is_smt and monitor_busy:
+            share = 0.5
+        self._app_progress += share
+        while (
+            self._app_index < len(self._plan)
+            and self._schedule[self._app_index] <= self._app_progress
+        ):
+            if not self._try_deliver(self._app_index):
+                self._app_blocked = True
+                self.result.app_blocked_cycles += 1
+                # Freeze progress at the blocked item's retirement point so
+                # the backlog does not silently accumulate while stalled.
+                self._app_progress = self._schedule[self._app_index]
+                return
+            self._app_index += 1
+
+    def _try_deliver(self, index: int) -> bool:
+        """Retire item ``index``; False if the target queue rejected it."""
+        plan_item = self._plan[index]
+        if plan_item is None:
+            return True
+        if self.fade is not None:
+            return self.event_queue.try_enqueue(plan_item)
+        if plan_item.kind is _ItemKind.STACK_UPDATE and not self.monitor.monitors_stack_updates:
+            return True
+        return self.work_queue.try_enqueue(plan_item)
+
+    # ------------------------------------------------------------- statistics
+
+    def _track_filtering(self, filtered: bool) -> None:
+        """Figure 4(b, c): distances between and bursts of unfiltered events."""
+        if filtered:
+            self._filterable_gap += 1
+            return
+        if self._saw_unfiltered:
+            self.result.unfiltered_distances[self._filterable_gap] += 1
+            if self._filterable_gap <= self.config.burst_gap_threshold:
+                self._current_burst += 1
+            else:
+                self._finish_burst()
+                self._current_burst = 1
+        else:
+            self._current_burst = 1
+        self._saw_unfiltered = True
+        self._filterable_gap = 0
+
+    def _finish_burst(self) -> None:
+        if self._current_burst > 0:
+            self.result.unfiltered_burst_sizes.append(self._current_burst)
+            self._current_burst = 0
+
+    def _classify_cycle(self, monitor_busy: bool) -> None:
+        breakdown: CycleBreakdown = self.result.cycle_breakdown
+        if self._app_blocked and monitor_busy:
+            breakdown.app_idle += 1
+        elif not monitor_busy:
+            breakdown.monitor_idle += 1
+        else:
+            breakdown.both_busy += 1
+
+
+def simulate(
+    trace: Trace,
+    monitor: Monitor,
+    config: SystemConfig,
+    profile: Optional[BenchmarkProfile] = None,
+    warmup_items: int = 0,
+) -> RunResult:
+    """Simulate one run and return its :class:`RunResult`."""
+    return MonitoringSimulation(trace, monitor, config, profile, warmup_items).run()
+
+
+def simulate_warmed(
+    trace: Trace,
+    monitor: Monitor,
+    config: SystemConfig,
+    profile: Optional[BenchmarkProfile] = None,
+    warmup_fraction: float = 0.5,
+) -> RunResult:
+    """Simulate with the leading fraction of the trace as functional warmup
+    (the default methodology for all paper-figure experiments)."""
+    warmup_items = int(len(trace.items) * warmup_fraction)
+    return MonitoringSimulation(trace, monitor, config, profile, warmup_items).run()

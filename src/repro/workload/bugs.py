@@ -1,0 +1,143 @@
+"""Crafted buggy traces for demonstrating and testing bug detection.
+
+Each factory returns a short, fully deterministic trace containing exactly
+one bug of the kind the named monitor detects.  The examples
+(``examples/bug_hunt.py``) and the monitor test-suites run these traces and
+assert that the right monitor reports the bug (and that the other monitors
+stay quiet where semantics demand it).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.units import WORD_SIZE
+from repro.isa.instruction import Instruction, Operand
+from repro.isa.opcodes import OpClass
+from repro.workload.trace import HighLevelEvent, HighLevelKind, Trace
+
+_PC_BASE = 0x0002_0000
+_HEAP = 0x1100_0000
+
+
+def _load(pc: int, address: int, dest: int, thread: int = 0) -> Instruction:
+    return Instruction(
+        pc=pc,
+        op_class=OpClass.LOAD,
+        sources=(Operand.memory(address),),
+        dest=Operand.register(dest),
+        thread=thread,
+    )
+
+
+def _store(pc: int, src: int, address: int, thread: int = 0) -> Instruction:
+    return Instruction(
+        pc=pc,
+        op_class=OpClass.STORE,
+        sources=(Operand.register(src),),
+        dest=Operand.memory(address),
+        thread=thread,
+    )
+
+
+def _move(pc: int, src: int, dest: int) -> Instruction:
+    return Instruction(
+        pc=pc,
+        op_class=OpClass.MOVE,
+        sources=(Operand.register(src),),
+        dest=Operand.register(dest),
+    )
+
+
+def _branch(pc: int, target_reg: int) -> Instruction:
+    return Instruction(
+        pc=pc,
+        op_class=OpClass.BRANCH,
+        sources=(Operand.register(target_reg),),
+    )
+
+
+def _exit() -> HighLevelEvent:
+    return HighLevelEvent(kind=HighLevelKind.PROGRAM_EXIT)
+
+
+def use_after_free_trace() -> Trace:
+    """malloc → use → free → use-after-free load.  AddrCheck reports it."""
+    base = _HEAP
+    items: List = [
+        HighLevelEvent(kind=HighLevelKind.MALLOC, address=base, size=64, register=1),
+        _store(_PC_BASE + 0, 2, base),  # Initialise the first word.
+        _load(_PC_BASE + 4, base, 3),  # Legitimate access.
+        HighLevelEvent(kind=HighLevelKind.FREE, address=base, size=64),
+        _load(_PC_BASE + 8, base, 4),  # BUG: use after free.
+        _exit(),
+    ]
+    return Trace(items, name="use_after_free")
+
+
+def uninitialized_read_trace() -> Trace:
+    """malloc → read of a never-written word.  MemCheck reports it."""
+    base = _HEAP + 0x1000
+    items: List = [
+        HighLevelEvent(kind=HighLevelKind.MALLOC, address=base, size=64, register=1),
+        _store(_PC_BASE + 0, 2, base),  # Word 0 initialised...
+        _load(_PC_BASE + 4, base, 3),  # ...and legitimately read.
+        _load(_PC_BASE + 8, base + WORD_SIZE, 4),  # BUG: word 1 never written.
+        _exit(),
+    ]
+    return Trace(items, name="uninitialized_read")
+
+
+def taint_exploit_trace() -> Trace:
+    """Tainted input flows into an indirect jump target.  TaintCheck reports."""
+    buffer = _HEAP + 0x2000
+    items: List = [
+        HighLevelEvent(kind=HighLevelKind.MALLOC, address=buffer, size=64, register=1),
+        # External input arrives in the buffer (e.g. a network read).
+        HighLevelEvent(kind=HighLevelKind.TAINT_SOURCE, address=buffer, size=64),
+        _load(_PC_BASE + 0, buffer, 5),  # Tainted value into r5.
+        _move(_PC_BASE + 4, 5, 6),  # Propagates to r6.
+        _branch(_PC_BASE + 8, 6),  # BUG: jump through tainted register.
+        _exit(),
+    ]
+    return Trace(items, name="taint_exploit")
+
+
+def memory_leak_trace() -> Trace:
+    """The only pointer to an allocation is overwritten.  MemLeak reports."""
+    base = _HEAP + 0x3000
+    other = _HEAP + 0x4000
+    items: List = [
+        # r1 := malloc(64): the sole reference to the allocation.
+        HighLevelEvent(kind=HighLevelKind.MALLOC, address=base, size=64, register=1),
+        _store(_PC_BASE + 0, 1, other),  # A second reference in memory...
+        HighLevelEvent(kind=HighLevelKind.MALLOC, address=other, size=64, register=2),
+        # BUG: both references die — r1 is clobbered, and the word holding
+        # the other copy is overwritten with a non-pointer.
+        _move(_PC_BASE + 4, 3, 1),
+        _store(_PC_BASE + 8, 3, other),
+        _exit(),
+    ]
+    return Trace(items, name="memory_leak")
+
+
+def atomicity_violation_trace() -> Trace:
+    """Read-write interleaving on a shared word across threads.
+
+    Thread 0 reads a shared word twice expecting atomicity; thread 1 writes
+    it in between (the AVIO-style unserialisable interleaving AtomCheck
+    detects).
+    """
+    shared = 0x3000_0000
+    items: List = [
+        HighLevelEvent(kind=HighLevelKind.MALLOC, address=shared, size=64, register=0),
+        HighLevelEvent(kind=HighLevelKind.THREAD_SWITCH, thread=0),
+        _store(_PC_BASE + 0, 1, shared, thread=0),  # T0 initialises.
+        _load(_PC_BASE + 4, shared, 2, thread=0),  # T0 reads...
+        HighLevelEvent(kind=HighLevelKind.THREAD_SWITCH, thread=1),
+        _store(_PC_BASE + 8, 3, shared, thread=1),  # T1 writes in between.
+        HighLevelEvent(kind=HighLevelKind.THREAD_SWITCH, thread=0),
+        _load(_PC_BASE + 12, shared, 4, thread=0),  # BUG: T0's read pair broken.
+        _exit(),
+    ]
+    return Trace(items, name="atomicity_violation")

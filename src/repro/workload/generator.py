@@ -1,0 +1,727 @@
+"""Synthetic trace generation.
+
+The generator maintains a lightweight ground-truth machine state (which
+registers and words currently hold pointers or taint, which words are
+initialised, the live heap and stack) and uses it to *bias* operand choices so
+that the emitted stream exhibits the target statistics: mostly clean accesses
+(filterable), pointer/taint densities that set the monitors' unfiltered rates,
+and allocation-initialisation bursts that produce the clustered unfiltered
+events of Figure 4(b, c).
+
+The generated traces are clean by construction — no use-after-free, no reads
+of uninitialised data, no tainted jump targets — so any report a monitor
+raises on a generated trace is a false positive (tested).  Buggy traces come
+from :mod:`repro.workload.bugs`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Set
+
+from repro.common.rng import DeterministicRng
+from repro.common.units import WORD_SIZE
+from repro.isa.instruction import Instruction, Operand
+from repro.isa.opcodes import OpClass
+from repro.workload.heap import HeapModel
+from repro.workload.profile import BenchmarkProfile
+from repro.workload.stack import CallStackModel
+from repro.workload.trace import HighLevelEvent, HighLevelKind, Trace
+
+#: Base of the statically allocated (global/data) segment.
+GLOBAL_BASE = 0x0040_0000
+#: Base of the shared-data segment used by parallel profiles.
+SHARED_BASE = 0x3000_0000
+#: Base of the lazily shadowed segment (fresh-region touches).
+FRESH_BASE = 0x2000_0000
+#: Base of the code segment (PC values).
+CODE_BASE = 0x0001_0000
+
+#: Number of general-purpose registers; register 0 is the hardwired zero.
+NUM_REGISTERS = 32
+
+#: Registers 1..POINTER_REG_MAX hold addresses (the compiler's pointer
+#: working set); higher registers hold data.  Segregating destinations keeps
+#: register pointer density under the profile's control — without it, random
+#: destination picks constantly clobber pointer registers and every such
+#: event needs MemLeak reference-count work, saturating the unfiltered rate.
+POINTER_REG_MAX = 8
+
+#: Pointer stores are this much more likely inside an allocation-init burst,
+#: modelling linked-structure construction (nodes are linked as they are
+#: initialised) — the dominant source of MemLeak's unfiltered bursts.
+_BURST_POINTER_BOOST = 3.0
+
+#: Size of the streaming sub-segment of the global data segment.
+STREAM_REGION_BYTES = 256 * 1024
+
+
+class TraceGenerator:
+    """Generates one synthetic trace for a benchmark profile."""
+
+    def __init__(self, profile: BenchmarkProfile, seed: int = 0) -> None:
+        self.profile = profile
+        self.seed = seed
+        self._rng = DeterministicRng(seed, profile.name, "trace")
+        self._heap = HeapModel(self._rng.child("heap"))
+        self._stack = CallStackModel(self._rng.child("stack"), profile.max_call_depth)
+
+        # Ground-truth metadata used only to bias operand selection.
+        self._pointer_regs: Set[int] = set()
+        self._tainted_regs: Set[int] = set()
+        self._pointer_words: List[int] = []  # list for O(1) random choice
+        self._pointer_word_set: Set[int] = set()
+        self._tainted_words: List[int] = []
+        self._tainted_word_set: Set[int] = set()
+        self._initialized_words: Set[int] = set()
+        self._frame_written: Dict[int, List[int]] = {}
+
+        # Hot working set of initialised global words, plus a streaming
+        # region, both inside the statically allocated global segment.
+        self._hot_words: List[int] = [
+            GLOBAL_BASE + index * WORD_SIZE for index in range(profile.hot_set_words)
+        ]
+        self._stream_start = GLOBAL_BASE + profile.hot_set_words * WORD_SIZE
+        self._stream_end = self._stream_start + STREAM_REGION_BYTES
+        # One stream cursor per thread, each walking its own slice, so
+        # streaming never generates cross-thread accesses.
+        threads = max(1, profile.num_threads)
+        slice_bytes = (STREAM_REGION_BYTES // threads) & ~(WORD_SIZE - 1)
+        self._stream_slices = [
+            (
+                self._stream_start + thread * slice_bytes,
+                self._stream_start + (thread + 1) * slice_bytes,
+            )
+            for thread in range(threads)
+        ]
+        self._stream_cursors = [start for start, _ in self._stream_slices]
+        self._hot_cursor = 0
+        self._fresh_cursor = FRESH_BASE
+        self._shared_word_list: List[int] = [
+            SHARED_BASE + index * WORD_SIZE for index in range(profile.shared_words)
+        ]
+
+        self._pending_init: Deque[int] = deque()
+        self._in_init_burst = False
+        self._pc = CODE_BASE
+        self._thread = 0
+        self._until_switch = profile.thread_switch_period
+
+        self._items: List = []
+        self._instruction_count = 0
+
+    # ------------------------------------------------------------------ API
+
+    def generate(self, num_instructions: int) -> Trace:
+        """Produce a trace with exactly ``num_instructions`` instructions."""
+        self._emit_startup()
+        while self._instruction_count < num_instructions:
+            self._step()
+        self._emit(HighLevelEvent(kind=HighLevelKind.PROGRAM_EXIT, thread=self._thread))
+        return Trace(self._items, name=self.profile.name, seed=self.seed)
+
+    # ------------------------------------------------------------- internals
+
+    def _emit(self, item) -> None:
+        self._items.append(item)
+        if isinstance(item, Instruction):
+            self._instruction_count += 1
+            if self.profile.parallel:
+                self._until_switch -= 1
+                if self._until_switch <= 0:
+                    self._switch_thread()
+
+    def _switch_thread(self) -> None:
+        self._thread = (self._thread + 1) % self.profile.num_threads
+        self._until_switch = self.profile.thread_switch_period
+        self._items.append(
+            HighLevelEvent(kind=HighLevelKind.THREAD_SWITCH, thread=self._thread)
+        )
+
+    def _next_pc(self) -> int:
+        self._pc += 4
+        if self._rng.chance(0.05):  # Taken branches/jumps scatter PCs.
+            self._pc = CODE_BASE + self._rng.randint(0, 1 << 16) * 4
+        return self._pc
+
+    def _emit_startup(self) -> None:
+        """Register the global segment and push the main frame.
+
+        The globals MALLOC tells monitors the static data segment is
+        allocated and initialised at program start; the initial CALL creates
+        the main stack frame.
+        """
+        global_size = (
+            self.profile.hot_set_words * WORD_SIZE + STREAM_REGION_BYTES
+        )
+        self._emit(
+            HighLevelEvent(
+                kind=HighLevelKind.MALLOC,
+                address=GLOBAL_BASE,
+                size=global_size,
+                register=0,
+                thread=self._thread,
+                startup=True,
+            )
+        )
+        if self.profile.parallel:
+            self._emit(
+                HighLevelEvent(
+                    kind=HighLevelKind.MALLOC,
+                    address=SHARED_BASE,
+                    size=self.profile.shared_words * WORD_SIZE,
+                    register=0,
+                    thread=self._thread,
+                    startup=True,
+                )
+            )
+        self._initialized_words.update(self._hot_words)
+        self._initialized_words.update(self._shared_word_list)
+        self._do_call()
+
+    # --- stochastic step ----------------------------------------------------
+
+    def _step(self) -> None:
+        profile = self.profile
+        # Pending allocation-init burst takes priority: it models the store
+        # burst that immediately follows a malloc.
+        if self._pending_init and self._rng.chance(profile.init_burst_intensity):
+            self._emit_init_store(self._pending_init.popleft())
+            return
+        self._in_init_burst = False
+
+        if self._rng.chance(profile.taint_source_rate):
+            self._do_buffer_taint_source()
+            return
+        if self._rng.chance(profile.malloc_rate):
+            self._do_malloc()
+            return
+        if self._rng.chance(profile.malloc_rate * profile.free_fraction):
+            self._do_free()
+            return
+        if self._rng.chance(profile.call_rate):
+            # Keep depth roughly balanced around a slowly wandering level.
+            if self._stack.can_return and (
+                not self._stack.can_call or self._rng.chance(0.5)
+            ):
+                self._do_return()
+            else:
+                self._do_call()
+            return
+        self._emit_regular_instruction()
+
+    def _emit_regular_instruction(self) -> None:
+        profile = self.profile
+        op_class = self._rng.weighted_choice(
+            (
+                OpClass.LOAD,
+                OpClass.STORE,
+                "alu1",
+                "alu2",
+                OpClass.MOVE,
+                OpClass.FP,
+                OpClass.BRANCH,
+                OpClass.NOP,
+            ),
+            (
+                profile.load_weight,
+                profile.store_weight,
+                profile.alu1_weight,
+                profile.alu2_weight,
+                profile.move_weight,
+                profile.fp_weight,
+                profile.branch_weight,
+                profile.nop_weight,
+            ),
+        )
+        if op_class is OpClass.LOAD:
+            self._emit_load()
+        elif op_class is OpClass.STORE:
+            self._emit_store()
+        elif op_class == "alu1":
+            self._emit_alu(num_sources=1)
+        elif op_class == "alu2":
+            self._emit_alu(num_sources=2)
+        elif op_class is OpClass.MOVE:
+            self._emit_move()
+        elif op_class is OpClass.FP:
+            self._emit_fp()
+        elif op_class is OpClass.BRANCH:
+            self._emit_branch()
+        else:
+            self._emit_nop()
+
+    # --- operand selection helpers -------------------------------------------
+
+    def _pick_register(self) -> int:
+        return self._rng.randint(1, NUM_REGISTERS - 1)
+
+    def _pick_data_register(self) -> int:
+        """A destination register from the data partition (never r1..r8)."""
+        return self._rng.randint(POINTER_REG_MAX + 1, NUM_REGISTERS - 1)
+
+    def _pick_pointer_dest_register(self) -> int:
+        """A destination register from the pointer partition (r1..r8)."""
+        return self._rng.randint(1, POINTER_REG_MAX)
+
+    def _pick_clean_register(self) -> int:
+        """A register holding neither a pointer nor taint.
+
+        Undirected operand picks draw from clean registers so that pointer
+        and taint densities stay under the profile's control instead of
+        saturating the register file through accidental propagation.
+        """
+        for _ in range(8):
+            reg = self._rng.randint(1, NUM_REGISTERS - 1)
+            if reg not in self._pointer_regs and reg not in self._tainted_regs:
+                return reg
+        return self._rng.randint(1, NUM_REGISTERS - 1)
+
+    def _pick_pointer_register(self) -> Optional[int]:
+        if not self._pointer_regs:
+            return None
+        return self._rng.choice(sorted(self._pointer_regs))
+
+    def _pick_tainted_register(self) -> Optional[int]:
+        if not self._tainted_regs:
+            return None
+        return self._rng.choice(sorted(self._tainted_regs))
+
+    def _depends(self) -> bool:
+        return self._rng.chance(self.profile.dep_prob)
+
+    def _choose_load_address(self) -> int:
+        """Pick a word to read; always an initialised, allocated word."""
+        profile = self.profile
+        if profile.pointer_load_bias and self._pointer_words and self._rng.chance(
+            profile.pointer_load_bias
+        ):
+            address = self._pick_live(self._pointer_words, self._pointer_word_set)
+            if address is not None:
+                return address
+        if profile.taint_load_bias and self._tainted_words and self._rng.chance(
+            profile.taint_load_bias
+        ):
+            address = self._pick_live(self._tainted_words, self._tainted_word_set)
+            if address is not None:
+                return address
+        return self._choose_data_address(for_write=False)
+
+    def _pick_live(self, candidates: List[int], live: Set[int]) -> Optional[int]:
+        """Pick from ``candidates`` verifying against ``live`` (the candidate
+        list uses lazy deletion, so it may contain freed/overwritten words —
+        choosing one of those would synthesise a use-after-free)."""
+        for _ in range(6):
+            address = self._rng.choice(candidates)
+            if address in live:
+                return address
+        return None
+
+    def _choose_data_address(self, for_write: bool) -> int:
+        profile = self.profile
+        roll = self._rng.random()
+        if profile.parallel and roll < profile.shared_fraction:
+            return self._sticky_pick(self._shared_word_list, for_write)
+        if self._rng.chance(profile.fresh_region_rate):
+            self._fresh_cursor += WORD_SIZE
+            self._initialized_words.add(self._fresh_cursor)
+            return self._fresh_cursor
+        if self._rng.chance(profile.stack_access_fraction):
+            address = self._choose_stack_address(for_write)
+            if address is not None:
+                return address
+        if self._rng.chance(profile.locality):
+            if profile.parallel:
+                # Non-shared data is thread-private: each thread owns a
+                # partition of the hot set, so private re-references stay
+                # same-thread (what AtomCheck's common case relies on).
+                partition = self._hot_words[self._thread :: profile.num_threads]
+                return self._sticky_pick(partition, for_write)
+            return self._clustered_hot_pick()
+        if self._rng.chance(profile.stream_fraction):
+            thread = self._thread
+            start, end = self._stream_slices[thread]
+            cursor = self._stream_cursors[thread] + WORD_SIZE
+            if cursor >= end:
+                cursor = start
+            self._stream_cursors[thread] = cursor
+            self._initialized_words.add(cursor)
+            return cursor
+        if profile.parallel:
+            # Heap allocations are not partitioned by owner, so random heap
+            # picks would look like cross-thread sharing; parallel profiles
+            # keep their sharing in the dedicated shared segment instead.
+            partition = self._hot_words[self._thread :: profile.num_threads]
+            return self._sticky_pick(partition, for_write)
+        allocation = self._heap.random_live()
+        if allocation is None:
+            return self._clustered_hot_pick()
+        word = allocation.word_at(self._rng.randint(0, max(0, allocation.num_words - 1)))
+        if not for_write and word not in self._initialized_words:
+            # Reading it would be an uninitialised read; fall back to hot set.
+            return self._clustered_hot_pick()
+        return word
+
+    def _clustered_hot_pick(self) -> int:
+        """Hot-set pick with page-level clustering.
+
+        Consecutive hot accesses mostly land near each other (within a few
+        cache blocks), occasionally jumping to a new region — the locality
+        real programs exhibit and the MD cache and M-TLB rely on.
+        """
+        count = len(self._hot_words)
+        if self._rng.chance(self.profile.page_locality):
+            self._hot_cursor = (self._hot_cursor + self._rng.randint(-24, 24)) % count
+        else:
+            self._hot_cursor = self._rng.randint(0, count - 1)
+        return self._hot_words[self._hot_cursor]
+
+    def _sticky_pick(self, words: List[int], for_write: bool) -> int:
+        """Type-sticky word choice for parallel profiles.
+
+        Real parallel programs access a given word with a consistent pattern
+        (read-mostly data versus producer-updated data).  Words at indices
+        ``3 (mod 4)`` are write-mostly; the rest are read-mostly; 90% of
+        accesses respect the word's role.  This keeps AtomCheck's
+        same-thread-same-type common case dominant, as the paper observes.
+        """
+        count = len(words)
+        if count < 4:
+            return self._rng.choice(words)
+        wants_write_word = for_write == self._rng.chance(0.98)
+        for _ in range(6):
+            index = self._rng.randint(0, count - 1)
+            if (index % 4 == 3) == wants_write_word:
+                return words[index]
+        return self._rng.choice(words)
+
+    def _choose_stack_address(self, for_write: bool) -> Optional[int]:
+        frame = self._stack.current_frame()
+        if frame is None:
+            return None
+        written = self._frame_written.setdefault(frame.base, [])
+        if for_write or not written:
+            if not for_write:
+                return None  # Nothing written yet; a read would be uninit.
+            word = frame.word_at(self._rng.randint(0, max(0, frame.num_words - 1)))
+            if word not in written:
+                written.append(word)
+            return word
+        return self._rng.choice(written)
+
+    # --- ground-truth metadata updates ---------------------------------------
+
+    def _set_word_pointer(self, address: int, is_pointer: bool) -> None:
+        if is_pointer and address not in self._pointer_word_set:
+            self._pointer_word_set.add(address)
+            self._pointer_words.append(address)
+        elif not is_pointer and address in self._pointer_word_set:
+            self._pointer_word_set.discard(address)
+            # Lazy deletion keeps this O(1); stale entries are re-checked.
+            if len(self._pointer_words) > 4 * len(self._pointer_word_set) + 64:
+                self._pointer_words = sorted(self._pointer_word_set)
+
+    def _set_word_tainted(self, address: int, tainted: bool) -> None:
+        if tainted and address not in self._tainted_word_set:
+            self._tainted_word_set.add(address)
+            self._tainted_words.append(address)
+        elif not tainted and address in self._tainted_word_set:
+            self._tainted_word_set.discard(address)
+            if len(self._tainted_words) > 4 * len(self._tainted_word_set) + 64:
+                self._tainted_words = sorted(self._tainted_word_set)
+
+    def _word_is_pointer(self, address: int) -> bool:
+        return address in self._pointer_word_set
+
+    def _word_is_tainted(self, address: int) -> bool:
+        return address in self._tainted_word_set
+
+    # --- instruction emitters --------------------------------------------------
+
+    def _emit_load(self) -> None:
+        address = self._choose_load_address()
+        if self._word_is_pointer(address):
+            dest = self._pick_pointer_dest_register()
+        else:
+            dest = self._pick_data_register()
+        self._emit(
+            Instruction(
+                pc=self._next_pc(),
+                op_class=OpClass.LOAD,
+                sources=(Operand.memory(address),),
+                dest=Operand.register(dest),
+                thread=self._thread,
+                depends_on_prev=self._depends(),
+            )
+        )
+        self._pointer_regs.discard(dest)
+        self._tainted_regs.discard(dest)
+        if self._word_is_pointer(address):
+            self._pointer_regs.add(dest)
+        if self._word_is_tainted(address):
+            self._tainted_regs.add(dest)
+
+    def _emit_store(self, address: Optional[int] = None) -> None:
+        profile = self.profile
+        pointer_chance = profile.pointer_store_fraction
+        if self._in_init_burst:
+            pointer_chance = min(1.0, pointer_chance * _BURST_POINTER_BOOST)
+        src: Optional[int] = None
+        if self._rng.chance(pointer_chance):
+            src = self._pick_pointer_register()
+        if src is None and self._rng.chance(profile.taint_alu_fraction):
+            src = self._pick_tainted_register()
+        if src is None:
+            src = self._pick_clean_register()
+        if address is None:
+            address = self._choose_data_address(for_write=True)
+        self._emit(
+            Instruction(
+                pc=self._next_pc(),
+                op_class=OpClass.STORE,
+                sources=(Operand.register(src),),
+                dest=Operand.memory(address),
+                thread=self._thread,
+                depends_on_prev=self._depends(),
+            )
+        )
+        self._initialized_words.add(address)
+        self._set_word_pointer(address, src in self._pointer_regs)
+        self._set_word_tainted(address, src in self._tainted_regs)
+
+    def _emit_init_store(self, address: int) -> None:
+        self._in_init_burst = True
+        self._emit_store(address=address)
+
+    def _emit_alu(self, num_sources: int) -> None:
+        profile = self.profile
+        sources = []
+        if self._rng.chance(profile.pointer_alu_fraction):
+            pointer_reg = self._pick_pointer_register()
+            if pointer_reg is not None:
+                sources.append(pointer_reg)
+        if self._rng.chance(profile.taint_alu_fraction):
+            tainted_reg = self._pick_tainted_register()
+            if tainted_reg is not None and len(sources) < num_sources:
+                sources.append(tainted_reg)
+        while len(sources) < num_sources:
+            sources.append(self._pick_clean_register())
+        if any(reg in self._pointer_regs for reg in sources):
+            dest = self._pick_pointer_dest_register()
+        else:
+            dest = self._pick_data_register()
+        self._emit(
+            Instruction(
+                pc=self._next_pc(),
+                op_class=OpClass.ALU,
+                sources=tuple(Operand.register(reg) for reg in sources[:num_sources]),
+                dest=Operand.register(dest),
+                thread=self._thread,
+                depends_on_prev=self._depends(),
+            )
+        )
+        is_pointer = any(reg in self._pointer_regs for reg in sources)
+        is_tainted = any(reg in self._tainted_regs for reg in sources)
+        self._pointer_regs.discard(dest)
+        self._tainted_regs.discard(dest)
+        if is_pointer:
+            self._pointer_regs.add(dest)
+        if is_tainted:
+            self._tainted_regs.add(dest)
+
+    def _emit_move(self) -> None:
+        if self._rng.chance(self.profile.pointer_alu_fraction):
+            src = self._pick_pointer_register() or self._pick_clean_register()
+        else:
+            src = self._pick_clean_register()
+        if src in self._pointer_regs:
+            dest = self._pick_pointer_dest_register()
+        else:
+            dest = self._pick_data_register()
+        self._emit(
+            Instruction(
+                pc=self._next_pc(),
+                op_class=OpClass.MOVE,
+                sources=(Operand.register(src),),
+                dest=Operand.register(dest),
+                thread=self._thread,
+                depends_on_prev=self._depends(),
+            )
+        )
+        self._pointer_regs.discard(dest)
+        self._tainted_regs.discard(dest)
+        if src in self._pointer_regs:
+            self._pointer_regs.add(dest)
+        if src in self._tainted_regs:
+            self._tainted_regs.add(dest)
+
+    def _emit_fp(self) -> None:
+        # FP operands live in the (untracked) floating-point register file;
+        # no monitor observes FP instructions, and FP results never carry
+        # pointers or taint, so the event has no destination to shadow.
+        num_sources = 2 if self._rng.chance(0.5) else 1
+        sources = tuple(
+            Operand.register(self._pick_register()) for _ in range(num_sources)
+        )
+        self._emit(
+            Instruction(
+                pc=self._next_pc(),
+                op_class=OpClass.FP,
+                sources=sources,
+                thread=self._thread,
+                depends_on_prev=self._depends(),
+            )
+        )
+
+    def _emit_branch(self) -> None:
+        # Clean programs never branch through tainted or undefined data;
+        # buggy traces (workload.bugs) construct those flows explicitly.
+        src = self._pick_clean_register()
+        self._emit(
+            Instruction(
+                pc=self._next_pc(),
+                op_class=OpClass.BRANCH,
+                sources=(Operand.register(src),),
+                thread=self._thread,
+                depends_on_prev=self._depends(),
+            )
+        )
+
+    def _emit_nop(self) -> None:
+        self._emit(
+            Instruction(
+                pc=self._next_pc(),
+                op_class=OpClass.NOP,
+                thread=self._thread,
+                depends_on_prev=False,
+            )
+        )
+
+    # --- structural emitters ------------------------------------------------------
+
+    def _do_call(self) -> None:
+        size = min(
+            self.profile.frame_size_max,
+            self._rng.pareto_int(self.profile.frame_size_mean // 2, shape=2.0),
+        )
+        frame = self._stack.call(size)
+        self._emit(
+            Instruction(
+                pc=self._next_pc(),
+                op_class=OpClass.CALL,
+                frame_base=frame.base,
+                frame_size=frame.size,
+                thread=self._thread,
+                depends_on_prev=False,
+            )
+        )
+
+    def _do_return(self) -> None:
+        frame = self._stack.ret()
+        self._frame_written.pop(frame.base, None)
+        # The frame is dead: scrub its words from the ground-truth sets so
+        # no biased operand pick resurrects a dangling stack address.
+        for index in range(frame.num_words):
+            word = frame.base + index * WORD_SIZE
+            self._set_word_pointer(word, False)
+            self._set_word_tainted(word, False)
+            self._initialized_words.discard(word)
+        self._emit(
+            Instruction(
+                pc=self._next_pc(),
+                op_class=OpClass.RETURN,
+                frame_base=frame.base,
+                frame_size=frame.size,
+                thread=self._thread,
+                depends_on_prev=False,
+            )
+        )
+
+    def _do_malloc(self) -> None:
+        size = min(
+            self.profile.alloc_size_max,
+            self._rng.pareto_int(self.profile.alloc_size_mean // 2, shape=1.6),
+        )
+        allocation = self._heap.malloc(size)
+        dest = self._pick_pointer_dest_register()
+        self._emit(
+            HighLevelEvent(
+                kind=HighLevelKind.MALLOC,
+                address=allocation.base,
+                size=allocation.size,
+                register=dest,
+                thread=self._thread,
+            )
+        )
+        self._pointer_regs.add(dest)
+        self._tainted_regs.discard(dest)
+        init_words = int(allocation.num_words * self.profile.init_burst_fraction)
+        for index in range(init_words):
+            self._pending_init.append(allocation.base + index * WORD_SIZE)
+        if self._rng.chance(self.profile.taint_source_fraction):
+            tainted_bytes = allocation.size
+            self._emit(
+                HighLevelEvent(
+                    kind=HighLevelKind.TAINT_SOURCE,
+                    address=allocation.base,
+                    size=tainted_bytes,
+                    thread=self._thread,
+                )
+            )
+            for index in range(allocation.num_words):
+                word = allocation.base + index * WORD_SIZE
+                self._set_word_tainted(word, True)
+                self._initialized_words.add(word)
+
+    def _do_buffer_taint_source(self) -> None:
+        """External input (read/recv) lands in a span of the global segment."""
+        span_words = self._rng.randint(16, 64)
+        start_index = self._rng.randint(
+            0, max(0, len(self._hot_words) - span_words - 1)
+        )
+        base = self._hot_words[start_index]
+        self._emit(
+            HighLevelEvent(
+                kind=HighLevelKind.TAINT_SOURCE,
+                address=base,
+                size=span_words * WORD_SIZE,
+                thread=self._thread,
+            )
+        )
+        for index in range(span_words):
+            word = base + index * WORD_SIZE
+            self._set_word_tainted(word, True)
+            self._initialized_words.add(word)
+
+    def _do_free(self) -> None:
+        allocation = self._heap.free_random()
+        if allocation is None:
+            return
+        if self._pending_init:
+            # Drop queued initialisation stores aimed at the freed region —
+            # letting them run would synthesise use-after-free stores.
+            self._pending_init = deque(
+                address
+                for address in self._pending_init
+                if not allocation.contains(address)
+            )
+        for index in range(allocation.num_words):
+            word = allocation.base + index * WORD_SIZE
+            self._set_word_pointer(word, False)
+            self._set_word_tainted(word, False)
+            self._initialized_words.discard(word)
+        self._emit(
+            HighLevelEvent(
+                kind=HighLevelKind.FREE,
+                address=allocation.base,
+                size=allocation.size,
+                thread=self._thread,
+            )
+        )
+
+
+def generate_trace(
+    profile: BenchmarkProfile, num_instructions: int, seed: int = 0
+) -> Trace:
+    """Convenience wrapper: build a generator and produce one trace."""
+    return TraceGenerator(profile, seed=seed).generate(num_instructions)

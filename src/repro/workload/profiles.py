@@ -1,0 +1,364 @@
+"""Per-benchmark profiles calibrated against the paper's reported statistics.
+
+The paper's per-benchmark observables used for calibration:
+
+* Figure 2(b): AddrCheck monitored IPC — per-benchmark, average 0.24.
+* Figure 2(c): MemLeak monitored IPC — average 0.68, bzip 1.2, mcf ~0.2.
+* Figure 3(b): event-queue occupancy — mcf bursts fit in 128 entries,
+  omnetpp needs 8K, bzip's rate exceeds 1 event/cycle.
+* Figure 9(b): MemLeak slowdowns — astar and gcc have low (~70%) filtering
+  ratios and frequent call/return drains.
+* Section 6: SPEC2006 integer benchmarks, 32-bit, reference inputs;
+  TaintCheck uses only astar, bzip, mcf, omnetpp; AtomCheck uses water,
+  ocean (SPLASH), blackscholes, streamcluster, fluidanimate (PARSEC) with
+  four time-sliced threads.
+
+The absolute numbers below are synthetic; what matters is that each
+benchmark lands in the same qualitative regime as its namesake.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.common.errors import ConfigurationError
+from repro.workload.profile import BenchmarkProfile
+
+#: SPEC CPU2006 integer benchmarks used for AddrCheck/MemCheck/MemLeak.
+SPEC_BENCHMARKS: List[str] = [
+    "astar",
+    "bzip",
+    "gcc",
+    "gobmk",
+    "hmmer",
+    "libquantum",
+    "mcf",
+    "omnetpp",
+]
+
+#: Subset with taint propagation, used for TaintCheck (Section 6).
+TAINT_BENCHMARKS: List[str] = ["astar", "bzip", "mcf", "omnetpp"]
+
+#: Multithreaded benchmarks used for AtomCheck (Section 6).
+PARALLEL_BENCHMARKS: List[str] = [
+    "water",
+    "ocean",
+    "blackscholes",
+    "streamcluster",
+    "fluidanimate",
+]
+
+_PROFILES: Dict[str, BenchmarkProfile] = {}
+
+
+def _register(profile: BenchmarkProfile) -> BenchmarkProfile:
+    _PROFILES[profile.name] = profile
+    return profile
+
+
+# --- SPEC-like sequential profiles ------------------------------------------------
+
+# astar: path-finding over pointer-linked graph nodes.  Pointer-dense (low
+# MemLeak filtering, ~70%), call-heavy, moderate IPC (~1.3 on 4-way OoO).
+_register(
+    BenchmarkProfile(
+        name="astar",
+        load_weight=0.22,
+        store_weight=0.09,
+        alu1_weight=0.10,
+        alu2_weight=0.13,
+        move_weight=0.06,
+        fp_weight=0.02,
+        branch_weight=0.20,
+        nop_weight=0.18,
+        dep_prob=0.513,
+        bubble_prob=0.025,
+        hot_set_words=4096,
+        locality=0.90,
+        call_rate=0.020,
+        frame_size_mean=96,
+        malloc_rate=0.0012,
+        alloc_size_mean=96,
+        pointer_store_fraction=0.30,
+        pointer_load_bias=0.26,
+        pointer_alu_fraction=0.22,
+        taint_source_fraction=0.08,
+        taint_load_bias=0.14,
+        taint_alu_fraction=0.12,
+        taint_source_rate=0.0005,
+    ),
+)
+
+# bzip: compression — ALU-dense inner loops, very high IPC (~1.9), low call
+# rate, monitored IPC for MemLeak above 1 event/cycle (queueing cannot help).
+_register(
+    BenchmarkProfile(
+        name="bzip",
+        load_weight=0.23,
+        store_weight=0.11,
+        alu1_weight=0.12,
+        alu2_weight=0.14,
+        move_weight=0.04,
+        fp_weight=0.00,
+        branch_weight=0.12,
+        nop_weight=0.24,
+        dep_prob=0.531,
+        bubble_prob=0.005,
+        hot_set_words=1024,
+        locality=0.97,
+        call_rate=0.002,
+        frame_size_mean=64,
+        malloc_rate=0.0002,
+        alloc_size_mean=512,
+        pointer_store_fraction=0.04,
+        pointer_load_bias=0.04,
+        pointer_alu_fraction=0.03,
+        taint_source_fraction=0.10,
+        taint_load_bias=0.08,
+        taint_alu_fraction=0.06,
+        taint_source_rate=0.00015,
+    ),
+)
+
+# gcc: compiler — pointer-chasing over IR, very call-heavy (frequent
+# unfiltered-queue drains at call/return boundaries), low filtering (~70%).
+_register(
+    BenchmarkProfile(
+        name="gcc",
+        load_weight=0.24,
+        store_weight=0.11,
+        alu1_weight=0.10,
+        alu2_weight=0.11,
+        move_weight=0.06,
+        fp_weight=0.01,
+        branch_weight=0.20,
+        nop_weight=0.17,
+        dep_prob=0.318,
+        bubble_prob=0.035,
+        hot_set_words=8192,
+        locality=0.88,
+        call_rate=0.028,
+        frame_size_mean=128,
+        malloc_rate=0.0018,
+        alloc_size_mean=160,
+        init_burst_fraction=0.85,
+        pointer_store_fraction=0.30,
+        pointer_load_bias=0.24,
+        pointer_alu_fraction=0.20,
+    )
+)
+
+# gobmk: game tree search — branchy, bursty event production (the benchmark
+# where a 32-entry queue costs 1.17x over infinite in Figure 3(c)).
+_register(
+    BenchmarkProfile(
+        name="gobmk",
+        load_weight=0.21,
+        store_weight=0.10,
+        alu1_weight=0.10,
+        alu2_weight=0.12,
+        move_weight=0.06,
+        fp_weight=0.01,
+        branch_weight=0.22,
+        nop_weight=0.18,
+        dep_prob=0.612,
+        bubble_prob=0.045,
+        bubble_mean=10.0,
+        hot_set_words=4096,
+        locality=0.93,
+        call_rate=0.022,
+        frame_size_mean=112,
+        malloc_rate=0.0006,
+        alloc_size_mean=128,
+        pointer_store_fraction=0.06,
+        pointer_load_bias=0.05,
+        pointer_alu_fraction=0.04,
+    )
+)
+
+# hmmer: profile HMM search — highly regular, high-ILP integer code with
+# excellent locality; the highest IPC of the suite (~2.0).
+_register(
+    BenchmarkProfile(
+        name="hmmer",
+        load_weight=0.24,
+        store_weight=0.10,
+        alu1_weight=0.10,
+        alu2_weight=0.12,
+        move_weight=0.03,
+        fp_weight=0.02,
+        branch_weight=0.12,
+        nop_weight=0.27,
+        dep_prob=0.5,
+        bubble_prob=0.004,
+        hot_set_words=1024,
+        locality=0.985,
+        call_rate=0.003,
+        frame_size_mean=64,
+        malloc_rate=0.0001,
+        alloc_size_mean=1024,
+        pointer_store_fraction=0.06,
+        pointer_load_bias=0.06,
+        pointer_alu_fraction=0.05,
+    )
+)
+
+# libquantum: quantum simulation — streaming over a large array, few calls.
+_register(
+    BenchmarkProfile(
+        name="libquantum",
+        load_weight=0.24,
+        store_weight=0.12,
+        alu1_weight=0.08,
+        alu2_weight=0.12,
+        move_weight=0.03,
+        fp_weight=0.02,
+        branch_weight=0.14,
+        nop_weight=0.25,
+        dep_prob=0.535,
+        bubble_prob=0.006,
+        hot_set_words=512,
+        locality=0.80,
+        stream_fraction=0.9,
+        call_rate=0.002,
+        frame_size_mean=48,
+        malloc_rate=0.0001,
+        alloc_size_mean=2048,
+        pointer_store_fraction=0.05,
+        pointer_load_bias=0.05,
+        pointer_alu_fraction=0.04,
+    )
+)
+
+# mcf: memory-bound pointer chasing over a huge working set — the lowest
+# IPC of the suite (~0.45) and the lowest monitored IPC (bursts fit in a
+# 128-entry queue; a 32-entry queue costs nothing, Figure 3(c)).
+_register(
+    BenchmarkProfile(
+        name="mcf",
+        load_weight=0.27,
+        store_weight=0.08,
+        alu1_weight=0.08,
+        alu2_weight=0.12,
+        move_weight=0.05,
+        fp_weight=0.00,
+        branch_weight=0.18,
+        nop_weight=0.22,
+        dep_prob=0.527,
+        bubble_prob=0.02,
+        hot_set_words=131072,
+        locality=0.55,
+        stream_fraction=0.2,
+        call_rate=0.004,
+        frame_size_mean=64,
+        malloc_rate=0.0003,
+        alloc_size_mean=192,
+        pointer_store_fraction=0.1,
+        pointer_load_bias=0.09,
+        pointer_alu_fraction=0.08,
+        taint_source_fraction=0.05,
+        taint_load_bias=0.10,
+        taint_alu_fraction=0.08,
+        taint_source_rate=0.0004,
+    ),
+)
+
+# omnetpp: discrete-event simulation — allocation-heavy, pointer-dense,
+# sustained high monitored IPC (8K-entry occupancy tail in Figure 3(b)).
+_register(
+    BenchmarkProfile(
+        name="omnetpp",
+        load_weight=0.26,
+        store_weight=0.13,
+        alu1_weight=0.12,
+        alu2_weight=0.15,
+        move_weight=0.08,
+        fp_weight=0.01,
+        branch_weight=0.12,
+        nop_weight=0.13,
+        dep_prob=0.334,
+        bubble_prob=0.02,
+        hot_set_words=16384,
+        locality=0.85,
+        call_rate=0.016,
+        frame_size_mean=80,
+        malloc_rate=0.0030,
+        alloc_size_mean=96,
+        init_burst_fraction=0.9,
+        pointer_store_fraction=0.12,
+        pointer_load_bias=0.1,
+        pointer_alu_fraction=0.08,
+        taint_source_fraction=0.07,
+        taint_load_bias=0.12,
+        taint_alu_fraction=0.10,
+        taint_source_rate=0.0008,
+    ),
+)
+
+# --- parallel profiles (AtomCheck) ---------------------------------------------
+
+def _parallel(name: str, **overrides) -> BenchmarkProfile:
+    base = dict(
+        parallel=True,
+        num_threads=4,
+        thread_switch_period=2400,
+        shared_fraction=0.30,
+        shared_words=24,
+        locality=0.95,
+        stream_fraction=0.15,
+        load_weight=0.24,
+        store_weight=0.12,
+        alu1_weight=0.18,
+        alu2_weight=0.22,
+        move_weight=0.06,
+        fp_weight=0.06,
+        branch_weight=0.10,
+        nop_weight=0.02,
+        dep_prob=0.18,
+        hot_set_words=512,
+        call_rate=0.010,
+        malloc_rate=0.0004,
+        pointer_store_fraction=0.04,
+        pointer_load_bias=0.02,
+        pointer_alu_fraction=0.03,
+    )
+    base.update(overrides)
+    return _register(BenchmarkProfile(name=name, **base))
+
+
+# water: n-body molecular dynamics — FP-heavy, modest sharing.
+_parallel("water", fp_weight=0.16, alu2_weight=0.16, shared_fraction=0.10,
+          shared_words=16, dep_prob=0.457)
+
+# ocean: grid solver — streaming FP over large grids, boundary sharing.
+_parallel("ocean", fp_weight=0.14, locality=0.85, stream_fraction=0.45,
+          hot_set_words=1024, shared_fraction=0.15, shared_words=32,
+          dep_prob=0.618)
+
+# blackscholes: embarrassingly parallel option pricing — tiny sharing.
+_parallel("blackscholes", fp_weight=0.20, alu2_weight=0.14,
+          shared_fraction=0.04, shared_words=8, dep_prob=0.392,
+          call_rate=0.004)
+
+# streamcluster: online clustering — heavy sharing of cluster centres.
+_parallel("streamcluster", shared_fraction=0.22, shared_words=48,
+          locality=0.93, dep_prob=0.631)
+
+# fluidanimate: particle simulation — neighbour-list sharing, lock-dense.
+_parallel("fluidanimate", fp_weight=0.12, shared_fraction=0.16,
+          shared_words=40, dep_prob=0.533, call_rate=0.014)
+
+
+def get_profile(name: str) -> BenchmarkProfile:
+    """Look up a registered benchmark profile by name."""
+    try:
+        return _PROFILES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown benchmark {name!r}; known: {sorted(_PROFILES)}"
+        ) from None
+
+
+def benchmark_names() -> List[str]:
+    """All registered benchmark names (SPEC first, then parallel)."""
+    return SPEC_BENCHMARKS + PARALLEL_BENCHMARKS

@@ -1,0 +1,168 @@
+"""Trace containers: dynamic instruction streams plus high-level events.
+
+A trace is an ordered list of :class:`TraceItem`: retired instructions
+interleaved with high-level events (malloc, free, taint-source, thread
+switches).  High-level events bypass FADE and are handled directly by monitor
+software (Section 3.3: "The filtering accelerator does not target high-level
+events, as they are infrequent and require complex handling").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+from typing import Iterable, Iterator, List, Union
+
+from repro.isa.instruction import Instruction, Operand, OperandKind
+from repro.isa.opcodes import OpClass
+
+
+class HighLevelKind(enum.Enum):
+    """High-level application events the monitors process in software."""
+
+    MALLOC = "malloc"
+    FREE = "free"
+    #: External input arriving into a buffer (taint source for TaintCheck).
+    TAINT_SOURCE = "taint_source"
+    #: Time-slice switch on a shared core (reprograms AtomCheck's thread tag).
+    THREAD_SWITCH = "thread_switch"
+    #: End of program: monitors run their final analysis (leak reports).
+    PROGRAM_EXIT = "program_exit"
+
+
+@dataclasses.dataclass(frozen=True)
+class HighLevelEvent:
+    """A non-instruction event delivered straight to the monitor.
+
+    Attributes:
+        kind: which high-level action occurred.
+        address: start of the affected region (MALLOC/FREE/TAINT_SOURCE).
+        size: size in bytes of the affected region.
+        register: destination register receiving a fresh pointer (MALLOC).
+        thread: the thread after a THREAD_SWITCH, else the acting thread.
+        startup: program-launch setup (static segments); monitors apply the
+            functional effect but charge no handler time, since in a real
+            run this one-off cost amortises over billions of instructions.
+    """
+
+    kind: HighLevelKind
+    address: int = 0
+    size: int = 0
+    register: int = 0
+    thread: int = 0
+    startup: bool = False
+
+
+TraceItem = Union[Instruction, HighLevelEvent]
+
+
+class Trace:
+    """An ordered stream of trace items with provenance metadata."""
+
+    def __init__(
+        self,
+        items: Iterable[TraceItem],
+        name: str = "trace",
+        seed: int = 0,
+    ) -> None:
+        self.items: List[TraceItem] = list(items)
+        self.name = name
+        self.seed = seed
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self) -> Iterator[TraceItem]:
+        return iter(self.items)
+
+    def __getitem__(self, index):
+        return self.items[index]
+
+    def instructions(self) -> Iterator[Instruction]:
+        for item in self.items:
+            if isinstance(item, Instruction):
+                yield item
+
+    def high_level_events(self) -> Iterator[HighLevelEvent]:
+        for item in self.items:
+            if isinstance(item, HighLevelEvent):
+                yield item
+
+    @property
+    def num_instructions(self) -> int:
+        return sum(1 for _ in self.instructions())
+
+    def extend(self, items: Iterable[TraceItem]) -> None:
+        self.items.extend(items)
+
+    def concat(self, other: "Trace") -> "Trace":
+        return Trace(self.items + other.items, name=self.name, seed=self.seed)
+
+    # -- serialisation ------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """Serialise to one JSON object per line (for trace archiving)."""
+        lines = [json.dumps({"name": self.name, "seed": self.seed})]
+        for item in self.items:
+            lines.append(json.dumps(_item_to_dict(item)))
+        return "\n".join(lines)
+
+    @staticmethod
+    def from_jsonl(text: str) -> "Trace":
+        lines = text.strip().splitlines()
+        header = json.loads(lines[0])
+        items = [_item_from_dict(json.loads(line)) for line in lines[1:]]
+        return Trace(items, name=header["name"], seed=header["seed"])
+
+
+def _item_to_dict(item: TraceItem) -> dict:
+    if isinstance(item, HighLevelEvent):
+        return {
+            "t": "hl",
+            "kind": item.kind.value,
+            "address": item.address,
+            "size": item.size,
+            "register": item.register,
+            "thread": item.thread,
+            "startup": item.startup,
+        }
+    return {
+        "t": "insn",
+        "pc": item.pc,
+        "op": item.op_class.value,
+        "srcs": [[operand.kind.value, operand.value] for operand in item.sources],
+        "dest": [item.dest.kind.value, item.dest.value] if item.dest else None,
+        "fb": item.frame_base,
+        "fs": item.frame_size,
+        "thread": item.thread,
+        "dep": item.depends_on_prev,
+    }
+
+
+def _item_from_dict(payload: dict) -> TraceItem:
+    if payload["t"] == "hl":
+        return HighLevelEvent(
+            kind=HighLevelKind(payload["kind"]),
+            address=payload["address"],
+            size=payload["size"],
+            register=payload["register"],
+            thread=payload["thread"],
+            startup=payload.get("startup", False),
+        )
+    sources = tuple(
+        Operand(OperandKind(kind), value) for kind, value in payload["srcs"]
+    )
+    dest = None
+    if payload["dest"] is not None:
+        dest = Operand(OperandKind(payload["dest"][0]), payload["dest"][1])
+    return Instruction(
+        pc=payload["pc"],
+        op_class=OpClass(payload["op"]),
+        sources=sources,
+        dest=dest,
+        frame_base=payload["fb"],
+        frame_size=payload["fs"],
+        thread=payload["thread"],
+        depends_on_prev=payload["dep"],
+    )

@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.benchmark == "astar"
+        assert args.monitor == "memleak"
+        assert not args.no_fade
+
+    def test_rejects_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--benchmark", "nonesuch"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "astar" in out and "memleak" in out
+
+    def test_area(self, capsys):
+        assert main(["area"]) == 0
+        out = capsys.readouterr().out
+        assert "FADE logic" in out and "MD cache" in out
+
+    def test_run_fade(self, capsys):
+        assert main(["run", "-n", "2500", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "slowdown" in out
+        assert "filtered=" in out
+
+    def test_run_unaccelerated(self, capsys):
+        assert main(
+            ["run", "-n", "2500", "--no-fade", "--monitor", "addrcheck"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "unaccelerated" in out
+        assert "filtered=" not in out  # No FADE statistics block.
+
+    def test_run_blocking_two_core_inorder(self, capsys):
+        assert main(
+            ["run", "-n", "2000", "--blocking", "--topology", "two-core",
+             "--core", "inorder", "--benchmark", "water",
+             "--monitor", "atomcheck"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "blocking FADE" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2", "-n", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "filtering %" in out
+        for monitor in ("addrcheck", "memleak"):
+            assert monitor in out

@@ -1,0 +1,95 @@
+"""Tests for the core timing models and retirement schedules."""
+
+import pytest
+
+from repro.cores import CORE_PARAMETERS, CoreType, RetireModel
+from repro.cores.retire import app_alone_cycles
+from repro.isa.instruction import Instruction
+from repro.workload import generate_trace, get_profile
+
+
+def schedule_for(benchmark="astar", core=CoreType.OOO4, n=3000, seed=3, bubbles=False):
+    profile = get_profile(benchmark)
+    trace = generate_trace(profile, n, seed=seed)
+    model = RetireModel(
+        core_type=core,
+        bubble_prob=profile.bubble_prob if bubbles else 0.0,
+        bubble_mean=profile.bubble_mean,
+    )
+    return trace, model.schedule(trace)
+
+
+class TestCoreParameters:
+    def test_table1_widths(self):
+        assert CORE_PARAMETERS[CoreType.INORDER].width == 1
+        assert CORE_PARAMETERS[CoreType.OOO2].width == 2
+        assert CORE_PARAMETERS[CoreType.OOO4].width == 4
+
+    def test_table1_robs(self):
+        assert CORE_PARAMETERS[CoreType.OOO2].rob_entries == 48
+        assert CORE_PARAMETERS[CoreType.OOO4].rob_entries == 96
+
+    def test_handler_ipc_scales_roughly_3x(self):
+        ratio = (
+            CORE_PARAMETERS[CoreType.OOO4].handler_ipc
+            / CORE_PARAMETERS[CoreType.INORDER].handler_ipc
+        )
+        assert 2.5 <= ratio <= 3.5  # Section 7.3: "up to 3x faster".
+
+
+class TestRetireSchedule:
+    def test_monotone_nondecreasing(self):
+        _, schedule = schedule_for()
+        assert all(b >= a for a, b in zip(schedule, schedule[1:]))
+
+    def test_retire_width_respected(self):
+        """No more than W instructions may retire in any single cycle."""
+        trace, schedule = schedule_for(core=CoreType.OOO4)
+        width = CORE_PARAMETERS[CoreType.OOO4].width
+        instruction_times = [
+            time
+            for time, item in zip(schedule, trace)
+            if isinstance(item, Instruction)
+        ]
+        from collections import Counter
+
+        per_cycle = Counter(int(time) for time in instruction_times)
+        assert max(per_cycle.values()) <= width
+
+    def test_wider_core_is_no_slower(self):
+        _, narrow = schedule_for(core=CoreType.INORDER)
+        _, wide = schedule_for(core=CoreType.OOO4)
+        assert app_alone_cycles(wide) <= app_alone_cycles(narrow)
+
+    def test_ooo2_between_inorder_and_ooo4(self):
+        _, inorder = schedule_for(core=CoreType.INORDER)
+        _, ooo2 = schedule_for(core=CoreType.OOO2)
+        _, ooo4 = schedule_for(core=CoreType.OOO4)
+        assert app_alone_cycles(ooo4) <= app_alone_cycles(ooo2)
+        assert app_alone_cycles(ooo2) <= app_alone_cycles(inorder)
+
+    def test_deterministic(self):
+        _, first = schedule_for(bubbles=True)
+        _, second = schedule_for(bubbles=True)
+        assert first == second
+
+    def test_bubbles_slow_the_core(self):
+        _, without = schedule_for(bubbles=False)
+        _, with_bubbles = schedule_for(benchmark="gobmk", bubbles=True)
+        _, gobmk_without = schedule_for(benchmark="gobmk", bubbles=False)
+        assert app_alone_cycles(with_bubbles) > app_alone_cycles(gobmk_without)
+
+    def test_high_level_events_ride_along(self):
+        trace, schedule = schedule_for(benchmark="omnetpp")
+        previous = 0.0
+        for time, item in zip(schedule, trace):
+            if not isinstance(item, Instruction):
+                assert time == previous
+            previous = time
+
+    def test_mcf_is_memory_bound(self):
+        """mcf's schedule must be far slower per instruction than hmmer's
+        (the Figure 2 IPC spread)."""
+        _, mcf = schedule_for(benchmark="mcf", n=4000)
+        _, hmmer = schedule_for(benchmark="hmmer", n=4000)
+        assert app_alone_cycles(mcf) > 2.5 * app_alone_cycles(hmmer)

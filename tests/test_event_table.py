@@ -1,0 +1,156 @@
+"""Tests for the event table: entry validation, 96-bit encoding, chains."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ProgrammingError
+from repro.fade.event_table import (
+    ENTRY_BITS,
+    EVENT_TABLE_SIZE,
+    EventTable,
+    EventTableEntry,
+    OperandRule,
+    RuKind,
+)
+from repro.fade.update_logic import NonBlockCondition, NonBlockRule, UpdateSpec
+
+
+class TestOperandRule:
+    def test_rejects_wide_mask(self):
+        with pytest.raises(ProgrammingError):
+            OperandRule(valid=True, mask=0x1FF)
+
+    def test_rejects_bad_md_bytes(self):
+        with pytest.raises(ProgrammingError):
+            OperandRule(valid=True, md_bytes=0)
+        with pytest.raises(ProgrammingError):
+            OperandRule(valid=True, md_bytes=5)
+
+    def test_rejects_wide_inv_id(self):
+        with pytest.raises(ProgrammingError):
+            OperandRule(valid=True, inv_id=4)
+
+
+class TestEventTableEntry:
+    def test_cc_and_ru_are_exclusive(self):
+        with pytest.raises(ProgrammingError):
+            EventTableEntry(cc=True, ru=RuKind.DIRECT)
+
+    def test_multi_shot_needs_next(self):
+        with pytest.raises(ProgrammingError):
+            EventTableEntry(ms=True, next_entry=0)
+
+    def test_has_check(self):
+        assert EventTableEntry(cc=True).has_check
+        assert EventTableEntry(ru=RuKind.OR).has_check
+        assert not EventTableEntry().has_check
+
+    def test_rejects_wide_pc(self):
+        with pytest.raises(ProgrammingError):
+            EventTableEntry(handler_pc=1 << 32)
+
+
+_operand_rules = st.builds(
+    OperandRule,
+    valid=st.booleans(),
+    mem=st.booleans(),
+    md_bytes=st.integers(1, 4),
+    mask=st.integers(0, 255),
+    inv_id=st.integers(0, 3),
+)
+
+
+def _entries():
+    def build(s1, s2, d, kind, ms, next_entry, partial, pc, rule, cond, inv):
+        cc = kind == "cc"
+        ru = RuKind[kind] if kind in ("DIRECT", "OR", "AND") else RuKind.NONE
+        return EventTableEntry(
+            s1=s1,
+            s2=s2,
+            d=d,
+            cc=cc,
+            ru=ru,
+            ms=ms,
+            next_entry=next_entry if ms else next_entry,
+            partial=partial,
+            handler_pc=pc,
+            update=UpdateSpec(rule=rule, condition=cond, inv_id=inv),
+        )
+
+    return st.builds(
+        build,
+        _operand_rules,
+        _operand_rules,
+        _operand_rules,
+        st.sampled_from(["cc", "DIRECT", "OR", "AND", "none"]),
+        st.just(False),  # MS needs a coherent next; keep single entries here.
+        st.integers(0, EVENT_TABLE_SIZE - 1),
+        st.booleans(),
+        st.integers(0, (1 << 32) - 1),
+        st.sampled_from(list(NonBlockRule)),
+        st.sampled_from(list(NonBlockCondition)),
+        st.integers(0, 3),
+    )
+
+
+class TestEncoding:
+    @given(_entries())
+    @settings(max_examples=200, deadline=None)
+    def test_roundtrip(self, entry):
+        """Property: every entry survives the 96-bit encode/decode."""
+        word = entry.encode()
+        assert 0 <= word < (1 << ENTRY_BITS)
+        assert EventTableEntry.decode(word) == entry
+
+    def test_multi_shot_roundtrip(self):
+        entry = EventTableEntry(cc=True, ms=True, next_entry=65, handler_pc=0xDEAD)
+        assert EventTableEntry.decode(entry.encode()) == entry
+
+    def test_decode_rejects_oversized(self):
+        with pytest.raises(ProgrammingError):
+            EventTableEntry.decode(1 << ENTRY_BITS)
+
+    def test_entry_is_96_bits(self):
+        assert ENTRY_BITS == 96  # Figure 6 caption.
+
+
+class TestEventTable:
+    def test_lookup_unprogrammed_is_none(self):
+        assert EventTable().lookup(5) is None
+
+    def test_program_and_lookup(self):
+        table = EventTable()
+        entry = EventTableEntry(cc=True)
+        table.program(3, entry)
+        assert table.lookup(3) == entry
+        assert table.programmed_indices() == (3,)
+
+    def test_out_of_range_rejected(self):
+        table = EventTable()
+        with pytest.raises(ProgrammingError):
+            table.program(EVENT_TABLE_SIZE, EventTableEntry())
+        with pytest.raises(ProgrammingError):
+            table.lookup(-1)
+
+    def test_chain_walk(self):
+        table = EventTable()
+        table.program(1, EventTableEntry(cc=True, ms=True, next_entry=64))
+        table.program(64, EventTableEntry(cc=True))
+        chain = table.chain(1)
+        assert [index for index, _ in chain] == [1, 64]
+
+    def test_chain_cycle_detected(self):
+        table = EventTable()
+        table.program(1, EventTableEntry(cc=True, ms=True, next_entry=64))
+        table.program(64, EventTableEntry(cc=True, ms=True, next_entry=1))
+        with pytest.raises(ProgrammingError):
+            table.chain(1)
+
+    def test_dangling_chain_detected(self):
+        table = EventTable()
+        table.program(1, EventTableEntry(cc=True, ms=True, next_entry=99))
+        with pytest.raises(ProgrammingError):
+            table.chain(1)
+
+    def test_capacity_is_128(self):
+        assert EVENT_TABLE_SIZE == 128  # Section 6.

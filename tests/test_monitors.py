@@ -1,0 +1,310 @@
+"""Functional tests for the five monitors: metadata semantics, handler
+classification, stack updates, and cleanliness on generated traces."""
+
+import pytest
+
+from repro.fade.pipeline import HandlerKind
+from repro.isa.events import MonitoredEvent, StackOp, StackUpdate
+from repro.isa.instruction import Instruction, Operand
+from repro.isa.opcodes import OpClass, event_id_for
+from repro.monitors import MONITOR_NAMES, create_monitor
+from repro.monitors.atomcheck import access_tag, READ, WRITE
+from repro.monitors.base import HandlerClass
+from repro.monitors.memcheck import DEFINED, INIT, UNALLOC, UNINIT
+from repro.workload import generate_trace, get_profile
+from repro.workload.trace import HighLevelEvent, HighLevelKind
+
+
+def malloc(address, size, register=1, startup=False):
+    return HighLevelEvent(
+        kind=HighLevelKind.MALLOC, address=address, size=size, register=register,
+        startup=startup,
+    )
+
+
+def free(address, size):
+    return HighLevelEvent(kind=HighLevelKind.FREE, address=address, size=size)
+
+
+def load_event(addr, dest, pc=0x100):
+    return MonitoredEvent(
+        event_id=event_id_for(OpClass.LOAD, 1), app_pc=pc, app_addr=addr, dest_reg=dest
+    )
+
+
+def store_event(addr, src, pc=0x104):
+    return MonitoredEvent(
+        event_id=event_id_for(OpClass.STORE, 1), app_pc=pc, app_addr=addr, src1_reg=src
+    )
+
+
+def replay(monitor, trace):
+    """Functionally replay a whole trace through a monitor's software path."""
+    for index, item in enumerate(trace):
+        if isinstance(item, HighLevelEvent):
+            monitor.handle_high_level(item)
+            continue
+        if not monitor.wants(item):
+            continue
+        event = MonitoredEvent.from_instruction(item, index)
+        if event.is_stack_update:
+            monitor.handle_stack_update(event.stack_update)
+        else:
+            monitor.handle_event(event)
+    return monitor
+
+
+class TestAddrCheck:
+    def test_clean_access_is_noop(self):
+        monitor = create_monitor("addrcheck")
+        monitor.handle_high_level(malloc(0x1000, 64))
+        result = monitor.handle_event(load_event(0x1000, dest=2))
+        assert result.is_noop
+        assert result.handler_class is HandlerClass.CLEAN_CHECK
+
+    def test_access_after_free_reports(self):
+        monitor = create_monitor("addrcheck")
+        monitor.handle_high_level(malloc(0x1000, 64))
+        monitor.handle_high_level(free(0x1000, 64))
+        result = monitor.handle_event(load_event(0x1000, dest=2))
+        assert result.report is not None
+        assert monitor.reports
+
+    def test_critical_metadata_track_allocation(self):
+        monitor = create_monitor("addrcheck")
+        monitor.handle_high_level(malloc(0x1000, 8))
+        assert monitor.critical_mem.read(0x1000) == 0x01
+        monitor.handle_high_level(free(0x1000, 8))
+        assert monitor.critical_mem.read(0x1000) == 0x00
+
+    def test_stack_update_allocates_frame(self):
+        monitor = create_monitor("addrcheck")
+        update = StackUpdate(StackOp.CALL, frame_base=0x7FF0_0000, frame_size=32)
+        result = monitor.handle_stack_update(update)
+        assert result.handler_class is HandlerClass.STACK_UPDATE
+        assert monitor.handle_event(load_event(0x7FF0_0000, dest=1)).is_noop
+
+    def test_lazy_region_materializes_without_report(self):
+        from repro.monitors.addrcheck import LAZY_REGION_START
+
+        monitor = create_monitor("addrcheck")
+        result = monitor.handle_event(load_event(LAZY_REGION_START + 64, dest=1))
+        assert result.report is None
+        assert result.metadata_changed
+
+
+class TestMemCheck:
+    def test_load_of_uninitialised_reports(self):
+        monitor = create_monitor("memcheck")
+        monitor.handle_high_level(malloc(0x1000, 64))
+        result = monitor.handle_event(load_event(0x1000, dest=2))
+        assert result.report is not None
+
+    def test_store_then_load_is_clean(self):
+        monitor = create_monitor("memcheck")
+        monitor.handle_high_level(malloc(0x1000, 64))
+        first_store = monitor.handle_event(store_event(0x1000, src=3))
+        assert first_store.metadata_changed  # UNINIT -> INIT.
+        assert monitor.handle_event(load_event(0x1000, dest=2)).is_noop
+
+    def test_second_store_is_clean_check(self):
+        monitor = create_monitor("memcheck")
+        monitor.handle_high_level(malloc(0x1000, 64))
+        monitor.handle_event(store_event(0x1000, src=3))
+        result = monitor.handle_event(store_event(0x1000, src=4))
+        assert result.handler_class is HandlerClass.CLEAN_CHECK
+
+    def test_stack_update_encodings(self):
+        monitor = create_monitor("memcheck")
+        update = StackUpdate(StackOp.CALL, 0x7FF0_0000, 16)
+        monitor.handle_stack_update(update)
+        assert monitor.critical_mem.read(0x7FF0_0000) == UNINIT
+        monitor.handle_stack_update(StackUpdate(StackOp.RETURN, 0x7FF0_0000, 16))
+        assert monitor.critical_mem.read(0x7FF0_0000) == UNALLOC
+
+    def test_startup_malloc_is_initialised(self):
+        monitor = create_monitor("memcheck")
+        monitor.handle_high_level(malloc(0x4000, 16, startup=True))
+        assert monitor.critical_mem.read(0x4000) == INIT
+
+    def test_and_encoding_is_definedness_meet(self):
+        assert INIT & UNINIT == UNINIT
+        assert DEFINED & DEFINED == DEFINED
+
+
+class TestTaintCheck:
+    def make_tainted(self, monitor, address=0x2000):
+        monitor.handle_high_level(malloc(address, 64))
+        monitor.handle_high_level(
+            HighLevelEvent(
+                kind=HighLevelKind.TAINT_SOURCE, address=address, size=64
+            )
+        )
+
+    def test_taint_propagates_through_load(self):
+        monitor = create_monitor("taintcheck")
+        self.make_tainted(monitor)
+        result = monitor.handle_event(load_event(0x2000, dest=5))
+        assert result.metadata_changed
+        assert monitor.critical_regs.read(5) == 0x01
+
+    def test_tainted_branch_reports(self):
+        monitor = create_monitor("taintcheck")
+        self.make_tainted(monitor)
+        monitor.handle_event(load_event(0x2000, dest=5))
+        branch = MonitoredEvent(
+            event_id=event_id_for(OpClass.BRANCH, 1), app_pc=0x50, src1_reg=5
+        )
+        result = monitor.handle_event(branch)
+        assert result.report is not None
+
+    def test_untainted_branch_is_clean(self):
+        monitor = create_monitor("taintcheck")
+        branch = MonitoredEvent(
+            event_id=event_id_for(OpClass.BRANCH, 1), app_pc=0x50, src1_reg=5
+        )
+        assert monitor.handle_event(branch).is_noop
+
+    def test_retainting_is_redundant(self):
+        monitor = create_monitor("taintcheck")
+        self.make_tainted(monitor)
+        monitor.handle_event(load_event(0x2000, dest=5))
+        result = monitor.handle_event(load_event(0x2000, dest=5))
+        assert result.handler_class is HandlerClass.REDUNDANT_UPDATE
+        assert result.is_noop
+
+    def test_stack_update_clears_taint(self):
+        monitor = create_monitor("taintcheck")
+        self.make_tainted(monitor, address=0x7FF0_0000)
+        monitor.handle_stack_update(StackUpdate(StackOp.RETURN, 0x7FF0_0000, 64))
+        assert monitor.critical_mem.read(0x7FF0_0000) == 0x00
+
+
+class TestMemLeak:
+    def test_malloc_creates_context_with_one_reference(self):
+        monitor = create_monitor("memleak")
+        monitor.handle_high_level(malloc(0x3000, 64, register=2))
+        assert monitor.critical_regs.read(2) == 0x01
+        (context,) = monitor.contexts.values()
+        assert context.refcount == 1
+
+    def test_store_of_pointer_adds_reference(self):
+        monitor = create_monitor("memleak")
+        monitor.handle_high_level(malloc(0x3000, 64, register=2))
+        monitor.handle_event(store_event(0x4000, src=2))
+        (context,) = monitor.contexts.values()
+        assert context.refcount == 2
+        assert monitor.critical_mem.read(0x4000) == 0x01
+
+    def test_overwriting_last_reference_leaks(self):
+        monitor = create_monitor("memleak")
+        monitor.handle_high_level(malloc(0x3000, 64, register=2))
+        # Clobber the only reference with a non-pointer.
+        move = MonitoredEvent(
+            event_id=event_id_for(OpClass.MOVE, 1), app_pc=0, src1_reg=9, dest_reg=2
+        )
+        monitor.handle_event(move)
+        leaks = monitor.finalize()
+        assert len(leaks) == 1
+
+    def test_freed_allocation_does_not_leak(self):
+        monitor = create_monitor("memleak")
+        monitor.handle_high_level(malloc(0x3000, 64, register=2))
+        monitor.handle_high_level(free(0x3000, 64))
+        assert monitor.finalize() == []
+
+    def test_non_pointer_event_is_clean(self):
+        monitor = create_monitor("memleak")
+        monitor.handle_high_level(malloc(0x3000, 64, register=2))
+        alu = MonitoredEvent(
+            event_id=event_id_for(OpClass.ALU, 2), app_pc=0,
+            src1_reg=10, src2_reg=11, dest_reg=12,
+        )
+        assert monitor.handle_event(alu).is_noop
+
+
+class TestAtomCheck:
+    def setup_word(self, monitor, word=0x3000_0000):
+        monitor.handle_high_level(malloc(word, 64))
+        return word
+
+    def switch(self, monitor, thread):
+        monitor.handle_high_level(
+            HighLevelEvent(kind=HighLevelKind.THREAD_SWITCH, thread=thread)
+        )
+
+    def test_same_thread_same_type_is_noop(self):
+        monitor = create_monitor("atomcheck")
+        word = self.setup_word(monitor)
+        monitor.handle_event(load_event(word, dest=1))
+        assert monitor.handle_event(load_event(word, dest=2)).is_noop
+
+    def test_critical_tag_encoding(self):
+        monitor = create_monitor("atomcheck")
+        word = self.setup_word(monitor)
+        self.switch(monitor, 2)
+        monitor.handle_event(store_event(word, src=1))
+        assert monitor.critical_mem.read(word) == access_tag(2, WRITE)
+
+    def test_unserialisable_interleaving_reports(self):
+        monitor = create_monitor("atomcheck")
+        word = self.setup_word(monitor)
+        self.switch(monitor, 0)
+        monitor.handle_event(load_event(word, dest=1))  # T0 reads.
+        self.switch(monitor, 1)
+        monitor.handle_event(store_event(word, src=2))  # T1 writes between.
+        self.switch(monitor, 0)
+        result = monitor.handle_event(load_event(word, dest=3))  # T0 reads.
+        assert result.report is not None
+
+    def test_serialisable_interleaving_is_silent(self):
+        monitor = create_monitor("atomcheck")
+        word = self.setup_word(monitor)
+        self.switch(monitor, 0)
+        monitor.handle_event(store_event(word, src=1))  # T0 writes.
+        self.switch(monitor, 1)
+        monitor.handle_event(load_event(word, dest=2))  # T1 reads after: WRR ok.
+        self.switch(monitor, 0)
+        result = monitor.handle_event(load_event(word, dest=3))
+        assert result.report is None
+
+    def test_short_handler_kind_reduces_cost(self):
+        monitor = create_monitor("atomcheck")
+        word = self.setup_word(monitor)
+        monitor.handle_event(load_event(word, dest=1))
+        short = monitor.handle_event(store_event(word, src=1), HandlerKind.SHORT)
+        assert short.cost == monitor.costs.partial_short
+
+    def test_stack_accesses_not_monitored(self):
+        monitor = create_monitor("atomcheck")
+        stack_load = Instruction(
+            pc=0, op_class=OpClass.LOAD,
+            sources=(Operand.memory(0x7FFE_0000),), dest=Operand.register(1),
+        )
+        assert not monitor.wants(stack_load)
+
+    def test_runtime_invariants_follow_thread(self):
+        monitor = create_monitor("atomcheck")
+        updates = monitor.runtime_invariant_updates(
+            HighLevelEvent(kind=HighLevelKind.THREAD_SWITCH, thread=3)
+        )
+        assert (monitor.READ_TAG_INV, access_tag(3, READ)) in updates
+        assert (monitor.WRITE_TAG_INV, access_tag(3, WRITE)) in updates
+
+
+class TestCleanTraces:
+    """Generated traces are clean: no monitor may raise a (non-leak) report."""
+
+    @pytest.mark.parametrize("monitor_name", ["addrcheck", "memcheck", "taintcheck"])
+    @pytest.mark.parametrize("bench", ["astar", "omnetpp", "gcc"])
+    def test_sequential_monitors_stay_silent(self, monitor_name, bench):
+        trace = generate_trace(get_profile(bench), 4000, seed=11)
+        monitor = replay(create_monitor(monitor_name), trace)
+        assert monitor.reports == []
+
+    def test_memleak_reports_only_leaks(self):
+        from repro.monitors.reports import BugKind
+
+        trace = generate_trace(get_profile("astar"), 4000, seed=11)
+        monitor = replay(create_monitor("memleak"), trace)
+        assert all(r.kind is BugKind.MEMORY_LEAK for r in monitor.reports)

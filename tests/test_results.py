@@ -1,0 +1,125 @@
+"""Tests for RunResult derived metrics and FadeStats accounting."""
+
+import pytest
+
+from repro.fade.accelerator import Fade, FadeConfig, FadeStats
+from repro.metadata import ShadowMemory, ShadowRegisters
+from repro.monitors import create_monitor
+from repro.monitors.base import HandlerClass
+from repro.system.results import CycleBreakdown, RunResult
+
+
+class TestFadeStats:
+    def test_filtering_ratio(self):
+        stats = FadeStats(instruction_events=200, filtered=150)
+        assert stats.filtering_ratio == pytest.approx(0.75)
+
+    def test_zero_events(self):
+        assert FadeStats().filtering_ratio == 0.0
+
+    def test_unfiltered_combines_partial_and_full(self):
+        stats = FadeStats(partial_short=3, unfiltered_full=7)
+        assert stats.unfiltered == 10
+
+
+class TestCycleBreakdown:
+    def test_percentages_sum_to_100(self):
+        breakdown = CycleBreakdown(app_idle=25, monitor_idle=50, both_busy=25)
+        shares = breakdown.percentages()
+        assert sum(shares.values()) == pytest.approx(100.0)
+        assert shares["monitor_idle"] == pytest.approx(50.0)
+
+    def test_empty_breakdown_is_safe(self):
+        assert sum(CycleBreakdown().percentages().values()) == 0.0
+
+
+class TestRunResult:
+    def make_result(self, **kwargs):
+        defaults = dict(
+            benchmark="astar", monitor="MemLeak", system="test",
+            cycles=2000.0, baseline_cycles=1000.0, instructions=1500,
+            monitored_events=600,
+        )
+        defaults.update(kwargs)
+        return RunResult(**defaults)
+
+    def test_slowdown(self):
+        assert self.make_result().slowdown == pytest.approx(2.0)
+
+    def test_slowdown_without_baseline_is_nan(self):
+        import math
+
+        assert math.isnan(self.make_result(baseline_cycles=0.0).slowdown)
+
+    def test_ipcs(self):
+        result = self.make_result()
+        assert result.app_ipc == pytest.approx(1.5)
+        assert result.monitored_ipc == pytest.approx(0.6)
+
+    def test_handler_time_percentages(self):
+        result = self.make_result()
+        result.handler_instructions = {
+            HandlerClass.CLEAN_CHECK: 75.0,
+            HandlerClass.COMPLEX: 25.0,
+        }
+        shares = result.handler_time_percentages()
+        assert shares["cc"] == pytest.approx(75.0)
+        assert shares["complex"] == pytest.approx(25.0)
+
+    def test_average_burst_size(self):
+        result = self.make_result()
+        result.unfiltered_burst_sizes = [2, 4, 6]
+        assert result.average_burst_size == pytest.approx(4.0)
+        assert self.make_result().average_burst_size == 0.0
+
+    def test_summary_mentions_key_numbers(self):
+        text = self.make_result().summary()
+        assert "2.00x" in text and "astar" in text
+
+
+class TestFadeAccelerator:
+    def test_stats_accumulate(self):
+        monitor = create_monitor("memleak")
+        fade = Fade(
+            monitor.fade_program(), monitor.critical_regs, monitor.critical_mem
+        )
+        from repro.isa.events import MonitoredEvent
+        from repro.isa.opcodes import OpClass, event_id_for
+
+        clean = MonitoredEvent(
+            event_id=event_id_for(OpClass.MOVE, 1), app_pc=0,
+            src1_reg=10, dest_reg=11,
+        )
+        outcome = fade.process_event(clean)
+        assert outcome.filtered
+        assert fade.stats.instruction_events == 1
+        assert fade.stats.filtered == 1
+
+    def test_suu_unavailable_without_program_support(self):
+        from repro.common.errors import ConfigurationError
+        from repro.isa.events import StackOp, StackUpdate
+
+        monitor = create_monitor("atomcheck")  # No SUU in its program.
+        fade = Fade(
+            monitor.fade_program(), monitor.critical_regs, monitor.critical_mem
+        )
+        with pytest.raises(ConfigurationError):
+            fade.process_stack_update(StackUpdate(StackOp.CALL, 0x7000_0000, 64))
+
+    def test_blocking_config_has_no_fsq(self):
+        monitor = create_monitor("memleak")
+        fade = Fade(
+            monitor.fade_program(), monitor.critical_regs, monitor.critical_mem,
+            FadeConfig(non_blocking=False),
+        )
+        assert fade.fsq is None
+        assert not fade.fsq_full
+        fade.handler_completed(0)  # No-op, must not raise.
+
+    def test_write_invariant_reaches_pipeline(self):
+        monitor = create_monitor("atomcheck")
+        fade = Fade(
+            monitor.fade_program(), monitor.critical_regs, monitor.critical_mem
+        )
+        fade.write_invariant(monitor.READ_TAG_INV, 0x83)
+        assert fade.inv_rf.read(monitor.READ_TAG_INV) == 0x83

@@ -1,0 +1,113 @@
+"""Tests for repro.metadata.shadow: shadow memory and registers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.units import WORD_SIZE
+from repro.metadata import ShadowMemory, ShadowRegisters
+
+
+class TestShadowMemory:
+    def test_default_for_unshadowed(self):
+        shadow = ShadowMemory(default=7)
+        assert shadow.read(0x1234) == 7
+
+    def test_word_granularity(self):
+        shadow = ShadowMemory()
+        shadow.write(0x1000, 5)
+        for offset in range(WORD_SIZE):
+            assert shadow.read(0x1000 + offset) == 5
+        assert shadow.read(0x1004) == 0
+
+    def test_write_reports_change(self):
+        shadow = ShadowMemory()
+        assert shadow.write(0x10, 1)
+        assert not shadow.write(0x10, 1)
+        assert shadow.write(0x10, 2)
+
+    def test_writing_default_reclaims_storage(self):
+        shadow = ShadowMemory(default=0)
+        shadow.write(0x10, 3)
+        assert len(shadow) == 1
+        shadow.write(0x10, 0)
+        assert len(shadow) == 0
+        assert shadow.read(0x10) == 0
+
+    def test_rejects_out_of_range_values(self):
+        shadow = ShadowMemory()
+        with pytest.raises(ValueError):
+            shadow.write(0, 256)
+        with pytest.raises(ValueError):
+            ShadowMemory(default=300)
+
+    def test_bulk_set_equals_word_loop(self):
+        bulk = ShadowMemory()
+        loop = ShadowMemory()
+        start, length, value = 0x103, 37, 9
+        words = bulk.bulk_set(start, length, value)
+        count = 0
+        from repro.common.units import words_in_range
+
+        for word in words_in_range(start, length):
+            loop.write(word, value)
+            count += 1
+        assert words == count
+        assert bulk.snapshot() == loop.snapshot()
+
+    def test_snapshot_is_a_copy(self):
+        shadow = ShadowMemory()
+        shadow.write(0x10, 3)
+        snapshot = shadow.snapshot()
+        shadow.write(0x20, 4)
+        assert 0x20 - (0x20 % WORD_SIZE) not in snapshot
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=256),
+                st.integers(min_value=0, max_value=255),
+            ),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_last_write_wins(self, writes):
+        """Property: a read returns the last write to the containing word."""
+        shadow = ShadowMemory(default=0)
+        model = {}
+        for address, value in writes:
+            shadow.write(address, value)
+            model[ShadowMemory.word_address(address)] = value
+        for word, value in model.items():
+            assert shadow.read(word) == value
+
+
+class TestShadowRegisters:
+    def test_defaults(self):
+        registers = ShadowRegisters(num_registers=8, default=3)
+        assert all(registers.read(index) == 3 for index in range(8))
+
+    def test_write_and_change_detection(self):
+        registers = ShadowRegisters()
+        assert registers.write(4, 9)
+        assert not registers.write(4, 9)
+        assert registers.read(4) == 9
+
+    def test_reset(self):
+        registers = ShadowRegisters(default=1)
+        registers.write(2, 200)
+        registers.reset()
+        assert registers.read(2) == 1
+
+    def test_rejects_bad_value(self):
+        with pytest.raises(ValueError):
+            ShadowRegisters().write(0, 999)
+
+    def test_out_of_range_index_raises(self):
+        with pytest.raises(IndexError):
+            ShadowRegisters(num_registers=4).read(99)
+
+    def test_snapshot(self):
+        registers = ShadowRegisters(num_registers=3)
+        registers.write(1, 5)
+        assert registers.snapshot() == (0, 5, 0)

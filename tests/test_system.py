@@ -1,0 +1,184 @@
+"""Integration tests for the full monitoring systems (Figure 8)."""
+
+import pytest
+
+from repro.cores import CoreType
+from repro.monitors import MONITOR_NAMES, create_monitor
+from repro.system import MonitoringSimulation, SystemConfig, Topology, simulate
+from repro.system.simulator import simulate_warmed
+from repro.workload import generate_trace, get_profile
+
+
+def run(
+    benchmark="astar",
+    monitor="memleak",
+    n=3000,
+    seed=5,
+    warmup=0.4,
+    **config_kwargs,
+):
+    profile = get_profile(benchmark)
+    trace = generate_trace(profile, n, seed=seed)
+    config = SystemConfig(**config_kwargs)
+    return simulate_warmed(
+        trace, create_monitor(monitor), config, profile, warmup_fraction=warmup
+    )
+
+
+class TestBasicProperties:
+    def test_monitoring_is_never_free(self):
+        result = run(fade_enabled=False)
+        assert result.slowdown >= 1.0
+
+    def test_fade_is_faster_than_unaccelerated(self):
+        base = run(fade_enabled=False)
+        fade = run(fade_enabled=True)
+        assert fade.cycles < base.cycles
+
+    def test_event_conservation(self):
+        """Every monitored instruction event is either filtered or handled."""
+        result = run(fade_enabled=True)
+        stats = result.fade_stats
+        assert stats.filtered + stats.unfiltered == stats.instruction_events
+        assert stats.instruction_events == result.monitored_events
+
+    def test_unaccelerated_handles_every_event(self):
+        result = run(fade_enabled=False, monitor="addrcheck")
+        expected = (
+            result.monitored_events
+            + result.stack_update_events
+            + result.high_level_events
+        )
+        assert result.handlers_executed == expected
+
+    def test_deterministic(self):
+        first = run(fade_enabled=True)
+        second = run(fade_enabled=True)
+        assert first.cycles == second.cycles
+        assert first.filtering_ratio == second.filtering_ratio
+
+    def test_infinite_event_queue_never_rejects(self):
+        result = run(fade_enabled=True, event_queue_capacity=None)
+        assert result.event_queue_stats.rejected == 0
+
+    def test_bounded_queue_occupancy_never_exceeds_capacity(self):
+        result = run(fade_enabled=True, event_queue_capacity=8)
+        histogram = result.event_queue_stats.occupancy_histogram
+        assert max(histogram) <= 8
+
+    def test_larger_event_queue_is_no_slower(self):
+        small = run(fade_enabled=True, event_queue_capacity=4)
+        large = run(fade_enabled=True, event_queue_capacity=512)
+        assert large.cycles <= small.cycles * 1.02
+
+
+class TestTopologies:
+    def test_two_core_is_no_slower_than_smt(self):
+        smt = run(topology=Topology.SINGLE_CORE_SMT, fade_enabled=True)
+        two = run(topology=Topology.TWO_CORE, fade_enabled=True)
+        assert two.cycles <= smt.cycles * 1.02
+
+    def test_two_core_cycle_breakdown_sums_to_total(self):
+        result = run(topology=Topology.TWO_CORE, fade_enabled=True)
+        breakdown = result.cycle_breakdown
+        assert breakdown.total == pytest.approx(result.cycles)
+
+    def test_core_types_order_unaccelerated(self):
+        """Unaccelerated monitoring is sensitive to the core (Section 7.3)."""
+        results = {
+            core: run(core_type=core, fade_enabled=False, n=2500)
+            for core in (CoreType.INORDER, CoreType.OOO4)
+        }
+        assert results[CoreType.OOO4].cycles < results[CoreType.INORDER].cycles
+
+
+class TestNonBlocking:
+    @pytest.mark.parametrize("monitor_name", MONITOR_NAMES)
+    def test_blocking_and_nonblocking_agree_functionally(self, monitor_name):
+        """Final critical metadata and bug reports are mode-independent on
+        clean traces (the Section 5 equivalence)."""
+        benchmark = "water" if monitor_name == "atomcheck" else "astar"
+        profile = get_profile(benchmark)
+        trace = generate_trace(profile, 2500, seed=13)
+        outcomes = {}
+        for non_blocking in (False, True):
+            monitor = create_monitor(monitor_name)
+            config = SystemConfig(fade_enabled=True, non_blocking=non_blocking)
+            result = simulate(trace, monitor, config, profile)
+            outcomes[non_blocking] = (
+                monitor.critical_mem.snapshot(),
+                tuple(result.reports),
+            )
+        assert outcomes[False][0] == outcomes[True][0]
+        assert outcomes[False][1] == outcomes[True][1]
+
+    @pytest.mark.parametrize("monitor_name", ["memleak", "taintcheck", "atomcheck"])
+    def test_nonblocking_is_faster_for_low_filtering_monitors(self, monitor_name):
+        benchmark = "water" if monitor_name == "atomcheck" else "astar"
+        blocking = run(
+            monitor=monitor_name, benchmark=benchmark,
+            fade_enabled=True, non_blocking=False,
+        )
+        nonblocking = run(
+            monitor=monitor_name, benchmark=benchmark,
+            fade_enabled=True, non_blocking=True,
+        )
+        assert nonblocking.cycles < blocking.cycles
+
+    def test_nonblocking_filtering_matches_blocking_on_clean_traces(self):
+        blocking = run(fade_enabled=True, non_blocking=False)
+        nonblocking = run(fade_enabled=True, non_blocking=True)
+        assert blocking.filtering_ratio == pytest.approx(
+            nonblocking.filtering_ratio, abs=0.02
+        )
+
+
+class TestFilteringRanges:
+    """Table 2 regimes: filtering ratios stay in the paper's bands."""
+
+    @pytest.mark.parametrize(
+        "monitor_name,bench,low,high",
+        [
+            ("addrcheck", "bzip", 0.97, 1.0),
+            ("memcheck", "hmmer", 0.90, 1.0),
+            ("memleak", "hmmer", 0.90, 1.0),
+            ("memleak", "astar", 0.45, 0.85),
+            ("atomcheck", "water", 0.55, 0.95),
+        ],
+    )
+    def test_filtering_band(self, monitor_name, bench, low, high):
+        result = run(monitor=monitor_name, benchmark=bench, n=6000,
+                     fade_enabled=True)
+        assert low <= result.filtering_ratio <= high
+
+
+class TestWarmup:
+    def test_warmup_reports_are_discarded(self):
+        profile = get_profile("astar")
+        trace = generate_trace(profile, 2000, seed=5)
+        monitor = create_monitor("memleak")
+        simulation = MonitoringSimulation(
+            trace, monitor, SystemConfig(), profile,
+            warmup_items=len(trace.items) // 2,
+        )
+        result = simulation.run()
+        # Counted statistics only cover the timed region.
+        assert result.instructions < 2000
+        assert result.baseline_cycles > 0
+
+    def test_zero_warmup_counts_everything(self):
+        result = run(warmup=0.0, n=1500)
+        assert result.instructions == 1500
+
+
+class TestStackUpdateDrain:
+    def test_drain_cycles_accrue_for_call_heavy_benchmarks(self):
+        """Section 5.2: stack updates wait for the unfiltered queue to
+        drain; gcc's call rate makes this visible."""
+        result = run(benchmark="gcc", monitor="memleak", fade_enabled=True)
+        assert result.fade_drain_cycles > 0
+        assert result.fade_stats.stack_updates > 0
+
+    def test_blocking_mode_accrues_wait_cycles(self):
+        result = run(monitor="memleak", fade_enabled=True, non_blocking=False)
+        assert result.fade_wait_cycles > 0

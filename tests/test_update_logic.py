@@ -1,0 +1,125 @@
+"""Tests for the Non-Blocking critical-metadata update rules."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fade.inv_rf import InvariantRegisterFile
+from repro.fade.update_logic import (
+    NonBlockCondition,
+    NonBlockRule,
+    UpdateSpec,
+    compute_update,
+)
+
+
+def make_inv(values=(0, 1, 2, 3)):
+    inv_rf = InvariantRegisterFile()
+    inv_rf.load(values)
+    return inv_rf
+
+
+class TestRules:
+    def test_none_rule_is_inactive(self):
+        spec = UpdateSpec()
+        assert not spec.is_active
+        assert compute_update(spec, 1, 2, 3, make_inv()) is None
+
+    def test_prop_s1(self):
+        spec = UpdateSpec(rule=NonBlockRule.PROP_S1)
+        assert compute_update(spec, 9, None, 0, make_inv()) == 9
+
+    def test_prop_s2(self):
+        spec = UpdateSpec(rule=NonBlockRule.PROP_S2)
+        assert compute_update(spec, 1, 7, 0, make_inv()) == 7
+
+    def test_compose_or_and(self):
+        inv = make_inv()
+        assert compute_update(
+            UpdateSpec(rule=NonBlockRule.COMPOSE_OR), 0b01, 0b10, 0, inv
+        ) == 0b11
+        assert compute_update(
+            UpdateSpec(rule=NonBlockRule.COMPOSE_AND), 0b11, 0b01, 0, inv
+        ) == 0b01
+
+    def test_compose_with_missing_source_is_identity(self):
+        inv = make_inv()
+        assert compute_update(
+            UpdateSpec(rule=NonBlockRule.COMPOSE_OR), 5, None, 0, inv
+        ) == 5
+        assert compute_update(
+            UpdateSpec(rule=NonBlockRule.COMPOSE_AND), None, 6, 0, inv
+        ) == 6
+
+    def test_set_const_reads_inv_register(self):
+        spec = UpdateSpec(rule=NonBlockRule.SET_CONST, inv_id=2)
+        assert compute_update(spec, None, None, None, make_inv((0, 1, 0x42, 3))) == 0x42
+
+
+class TestConditions:
+    def test_s1_eq_s2(self):
+        spec = UpdateSpec(
+            rule=NonBlockRule.PROP_S1, condition=NonBlockCondition.S1_EQ_S2
+        )
+        inv = make_inv()
+        assert compute_update(spec, 4, 4, 0, inv) == 4
+        assert compute_update(spec, 4, 5, 0, inv) is None
+
+    def test_s1_ne_dest(self):
+        spec = UpdateSpec(
+            rule=NonBlockRule.PROP_S1, condition=NonBlockCondition.S1_NE_DEST
+        )
+        inv = make_inv()
+        assert compute_update(spec, 4, None, 9, inv) == 4
+        assert compute_update(spec, 4, None, 4, inv) is None
+
+    def test_s1_eq_const(self):
+        spec = UpdateSpec(
+            rule=NonBlockRule.SET_CONST,
+            condition=NonBlockCondition.S1_EQ_CONST,
+            inv_id=1,
+        )
+        inv = make_inv((0, 7))
+        assert compute_update(spec, 7, None, None, inv) == 7  # INV[1] == 7.
+        assert compute_update(spec, 6, None, None, inv) is None
+
+    def test_condition_with_missing_operand_suppresses(self):
+        spec = UpdateSpec(
+            rule=NonBlockRule.PROP_S1, condition=NonBlockCondition.S1_EQ_S2
+        )
+        assert compute_update(spec, 4, None, 0, make_inv()) is None
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=60, deadline=None)
+    def test_eq_and_ne_partition(self, s1, s2):
+        """Property: S1_EQ_S2 and S1_NE_S2 guards are complementary."""
+        inv = make_inv()
+        eq = compute_update(
+            UpdateSpec(rule=NonBlockRule.PROP_S1, condition=NonBlockCondition.S1_EQ_S2),
+            s1, s2, 0, inv,
+        )
+        ne = compute_update(
+            UpdateSpec(rule=NonBlockRule.PROP_S1, condition=NonBlockCondition.S1_NE_S2),
+            s1, s2, 0, inv,
+        )
+        assert (eq is None) != (ne is None)
+
+
+class TestInvRf:
+    def test_out_of_range_read(self):
+        from repro.common.errors import ProgrammingError
+
+        with pytest.raises(ProgrammingError):
+            make_inv().read(99)
+
+    def test_out_of_range_value(self):
+        from repro.common.errors import ProgrammingError
+
+        with pytest.raises(ProgrammingError):
+            make_inv().write(0, 256)
+
+    def test_runtime_reprogramming_counts(self):
+        inv = make_inv()
+        before = inv.writes
+        inv.write(0, 0x81)
+        assert inv.read(0) == 0x81
+        assert inv.writes == before + 1
