@@ -5,7 +5,7 @@ of the monitor; the drain rule (Section 5.2) serialises stack updates behind
 pending unfiltered events.  Both are design choices DESIGN.md calls out.
 """
 
-from benchmarks.common import BENCH_SETTINGS, record
+from benchmarks.common import BENCH_RUNNER, BENCH_SETTINGS, record
 from repro.analysis import format_table
 from repro.analysis.experiments import run_one
 from repro.analysis.stats import geometric_mean
@@ -20,7 +20,7 @@ def _fsq_sweep():
     for depth in (2, 4, 8, 16, 32):
         config = SystemConfig(fade_enabled=True, fsq_capacity=depth)
         slowdown = geometric_mean(
-            run_one(bench, "memleak", config, BENCH_SETTINGS).slowdown
+            run_one(bench, "memleak", config, BENCH_SETTINGS, runner=BENCH_RUNNER).slowdown
             for bench in FSQ_BENCHES
         )
         rows.append([depth, slowdown])
@@ -32,7 +32,7 @@ def _drain_sweep():
     for drain in (True, False):
         config = SystemConfig(fade_enabled=True, stack_update_drain=drain)
         slowdown = geometric_mean(
-            run_one(bench, "memleak", config, BENCH_SETTINGS).slowdown
+            run_one(bench, "memleak", config, BENCH_SETTINGS, runner=BENCH_RUNNER).slowdown
             for bench in DRAIN_BENCHES
         )
         rows.append(["drain" if drain else "no-drain (unsound)", slowdown])

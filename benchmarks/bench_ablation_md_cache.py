@@ -7,7 +7,7 @@ cost-performance point.  This bench reconstructs that analysis.
 
 import dataclasses
 
-from benchmarks.common import BENCH_SETTINGS, record
+from benchmarks.common import BENCH_RUNNER, BENCH_SETTINGS, record
 from repro.analysis import format_table
 from repro.analysis.experiments import run_one
 from repro.analysis.stats import geometric_mean
@@ -28,7 +28,7 @@ def _sweep():
             ),
         )
         slowdown = geometric_mean(
-            run_one(bench, "memleak", config, BENCH_SETTINGS).slowdown
+            run_one(bench, "memleak", config, BENCH_SETTINGS, runner=BENCH_RUNNER).slowdown
             for bench in BENCHES
         )
         rows.append([f"{size_kb}KB", tlb_entries, slowdown])

@@ -4,7 +4,7 @@ Complements Figure 3(c) (which uses an ideal consumer) by sweeping the real
 FADE-enabled system; validates the paper's 32/16-entry choices.
 """
 
-from benchmarks.common import BENCH_SETTINGS, record
+from benchmarks.common import BENCH_RUNNER, BENCH_SETTINGS, record
 from repro.analysis import format_table
 from repro.analysis.experiments import run_one
 from repro.analysis.stats import geometric_mean
@@ -25,7 +25,7 @@ def _sweep():
             unfiltered_queue_capacity=unfiltered_capacity,
         )
         slowdown = geometric_mean(
-            run_one(bench, "memleak", config, BENCH_SETTINGS).slowdown
+            run_one(bench, "memleak", config, BENCH_SETTINGS, runner=BENCH_RUNNER).slowdown
             for bench in BENCHES
         )
         rows.append(

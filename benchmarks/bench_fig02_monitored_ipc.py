@@ -5,7 +5,7 @@ trackers and up to 0.68 for propagation trackers (average app IPC ~1.1-2.0);
 per-benchmark, AddrCheck averages 0.24 and MemLeak 0.68 with bzip above 1.0.
 """
 
-from benchmarks.common import BENCH_SETTINGS, record
+from benchmarks.common import BENCH_RUNNER, BENCH_SETTINGS, record
 from repro.analysis import fig2_monitored_ipc, format_table
 
 
@@ -39,7 +39,8 @@ def _render(data) -> str:
 
 def test_fig2_monitored_ipc(benchmark):
     data = benchmark.pedantic(
-        fig2_monitored_ipc, args=(BENCH_SETTINGS,), rounds=1, iterations=1
+        fig2_monitored_ipc, args=(BENCH_SETTINGS,),
+        kwargs={"runner": BENCH_RUNNER}, rounds=1, iterations=1,
     )
     record("fig02_monitored_ipc", _render(data))
     # Shape assertions: memory trackers see less load than propagation

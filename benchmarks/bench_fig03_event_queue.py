@@ -6,7 +6,7 @@ over 32K entries, and bzip stays slow regardless because its monitored IPC
 exceeds the one-event-per-cycle filtering rate.
 """
 
-from benchmarks.common import BENCH_SETTINGS, record
+from benchmarks.common import BENCH_RUNNER, BENCH_SETTINGS, record
 from repro.analysis import (
     fig3_queue_occupancy,
     fig3_queue_size_slowdown,
@@ -15,9 +15,11 @@ from repro.analysis import (
 
 
 def _run_both():
-    addr = fig3_queue_occupancy("addrcheck", BENCH_SETTINGS)
-    leak = fig3_queue_occupancy("memleak", BENCH_SETTINGS)
-    sizing = fig3_queue_size_slowdown("memleak", BENCH_SETTINGS, capacities=(32, 32_768))
+    addr = fig3_queue_occupancy("addrcheck", BENCH_SETTINGS, runner=BENCH_RUNNER)
+    leak = fig3_queue_occupancy("memleak", BENCH_SETTINGS, runner=BENCH_RUNNER)
+    sizing = fig3_queue_size_slowdown(
+        "memleak", BENCH_SETTINGS, capacities=(32, 32_768), runner=BENCH_RUNNER
+    )
     return addr, leak, sizing
 
 

@@ -7,7 +7,7 @@ updates up to ~17% for some monitors; unfiltered events are typically within
 events for most monitor/benchmark pairs.
 """
 
-from benchmarks.common import BENCH_SETTINGS, record
+from benchmarks.common import BENCH_RUNNER, BENCH_SETTINGS, record
 from repro.analysis import fig4_breakdowns, format_table
 
 
@@ -54,7 +54,8 @@ def _render(data) -> str:
 
 def test_fig4_breakdowns(benchmark):
     data = benchmark.pedantic(
-        fig4_breakdowns, args=(BENCH_SETTINGS,), rounds=1, iterations=1
+        fig4_breakdowns, args=(BENCH_SETTINGS,),
+        kwargs={"runner": BENCH_RUNNER}, rounds=1, iterations=1,
     )
     record("fig04_breakdowns", _render(data))
     # Shape: filterable work (CC+RU) dominates every monitor's handler time,

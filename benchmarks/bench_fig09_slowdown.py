@@ -6,14 +6,15 @@ accelerated cases), AtomCheck 3.9x -> 1.6x; across all five monitors the
 average drops from 4.1x to 1.5x.
 """
 
-from benchmarks.common import BENCH_SETTINGS, record
+from benchmarks.common import BENCH_RUNNER, BENCH_SETTINGS, record
 from repro.analysis import fig9_slowdown, format_table
 from repro.analysis.stats import geometric_mean
 
 
 def test_fig9_slowdown(benchmark):
     data = benchmark.pedantic(
-        fig9_slowdown, args=(BENCH_SETTINGS,), rounds=1, iterations=1
+        fig9_slowdown, args=(BENCH_SETTINGS,),
+        kwargs={"runner": BENCH_RUNNER}, rounds=1, iterations=1,
     )
     parts = []
     for monitor_name, rows in data.items():

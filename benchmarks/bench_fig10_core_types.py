@@ -6,14 +6,15 @@ systems are largely insensitive to the core type, and MemCheck is even
 slightly *better* on the in-order core.
 """
 
-from benchmarks.common import BENCH_SETTINGS, record
+from benchmarks.common import BENCH_RUNNER, BENCH_SETTINGS, record
 from repro.analysis import fig10_core_types, format_table
 from repro.cores import CoreType
 
 
 def test_fig10_core_types(benchmark):
     data = benchmark.pedantic(
-        fig10_core_types, args=(BENCH_SETTINGS,), rounds=1, iterations=1
+        fig10_core_types, args=(BENCH_SETTINGS,),
+        kwargs={"runner": BENCH_RUNNER}, rounds=1, iterations=1,
     )
     rows = []
     for monitor_name, per_core in data.items():

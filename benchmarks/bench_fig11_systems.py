@@ -7,7 +7,7 @@ Filtering is worth ~2x for the low-filtering monitors (AtomCheck, MemLeak,
 TaintCheck, <87% filtering) and ~1.1x for AddrCheck/MemCheck (>98%).
 """
 
-from benchmarks.common import BENCH_SETTINGS, record
+from benchmarks.common import BENCH_RUNNER, BENCH_SETTINGS, record
 from repro.analysis import (
     fig11a_single_vs_two_core,
     fig11b_core_utilization,
@@ -18,9 +18,9 @@ from repro.analysis import (
 
 def _run_all():
     return (
-        fig11a_single_vs_two_core(BENCH_SETTINGS),
-        fig11b_core_utilization(BENCH_SETTINGS),
-        fig11c_blocking_vs_nonblocking(BENCH_SETTINGS),
+        fig11a_single_vs_two_core(BENCH_SETTINGS, runner=BENCH_RUNNER),
+        fig11b_core_utilization(BENCH_SETTINGS, runner=BENCH_RUNNER),
+        fig11c_blocking_vs_nonblocking(BENCH_SETTINGS, runner=BENCH_RUNNER),
     )
 
 

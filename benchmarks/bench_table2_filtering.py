@@ -4,7 +4,7 @@ Paper reference: AddrCheck 99.5%, AtomCheck 85.5%, MemCheck 98.0%,
 MemLeak 87.0%, TaintCheck 84.0%.
 """
 
-from benchmarks.common import BENCH_SETTINGS, record
+from benchmarks.common import BENCH_RUNNER, BENCH_SETTINGS, record
 from repro.analysis import format_table, table2_filtering
 
 PAPER = {
@@ -18,7 +18,8 @@ PAPER = {
 
 def test_table2_filtering(benchmark):
     measured = benchmark.pedantic(
-        table2_filtering, args=(BENCH_SETTINGS,), rounds=1, iterations=1
+        table2_filtering, args=(BENCH_SETTINGS,),
+        kwargs={"runner": BENCH_RUNNER}, rounds=1, iterations=1,
     )
     rows = [
         [name, PAPER[name], measured[name]] for name in sorted(measured)

@@ -19,7 +19,8 @@ Run:  python examples/custom_monitor.py
 
 from typing import Dict, List
 
-from repro import SystemConfig, generate_trace, get_profile, simulate
+from repro import SystemConfig, generate_trace, get_profile, quick_run, simulate
+from repro.api import register_monitor
 from repro.fade.programming import ProgramBuilder
 from repro.fade.update_logic import NonBlockCondition, NonBlockRule, UpdateSpec
 from repro.fade.pipeline import HandlerKind
@@ -121,6 +122,14 @@ def main() -> None:
             line += (f", filtering {100 * result.filtering_ratio:.1f}%"
                      f", {monitor.transfers} ownership transfers in software")
         print(line)
+
+    # One registration makes the monitor runnable *by name* everywhere —
+    # quick_run, RunSpec grids, and the CLI (`repro run --monitor ownercheck`).
+    register_monitor("ownercheck", OwnerCheck, replace=True)
+    by_name = quick_run(
+        benchmark="streamcluster", monitor="ownercheck", num_instructions=20_000
+    )
+    print(f"\nvia registry  : {by_name.summary()}")
 
     print("\nThe event table rows OwnerCheck programmed:")
     program = OwnerCheck().fade_program()

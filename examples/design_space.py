@@ -5,34 +5,73 @@ Sweeps the main design axes of the paper's evaluation for one monitor and
 prints a compact comparison table — the kind of study a deployment would run
 before committing to a configuration.
 
-Run:  python examples/design_space.py
+The whole study is a declarative :class:`repro.api.RunSpec` grid executed
+through one runner: pass a worker count to fan it out over processes, and
+the raw results are saved as JSON so later invocations (or other tools) can
+re-aggregate without resimulating.
+
+Run:  python examples/design_space.py [jobs]
 """
 
-from repro import CoreType, SystemConfig, Topology, create_monitor, generate_trace, get_profile
+from __future__ import annotations
+
+import sys
+
+from repro import CoreType, SystemConfig, Topology
 from repro.analysis import format_table
+from repro.api import ExperimentSettings, ParallelRunner, ResultSet, RunSpec, SerialRunner
 from repro.fade.md_cache import MetadataCacheConfig
-from repro.system.simulator import simulate_warmed
 
 BENCHMARK = "omnetpp"
 MONITOR = "memleak"
-INSTRUCTIONS = 16_000
+SETTINGS = ExperimentSettings(num_instructions=16_000, seed=3)
+RESULTS_PATH = "design_space_results.json"
 
 
-def run(**config_kwargs):
-    profile = get_profile(BENCHMARK)
-    trace = generate_trace(profile, INSTRUCTIONS, seed=3)
-    config = SystemConfig(**config_kwargs)
-    result = simulate_warmed(trace, create_monitor(MONITOR), config, profile)
-    return result
+def build_grid() -> list:
+    """Every cell of the study as one flat, declarative spec list."""
+    specs = []
+    for core in (CoreType.INORDER, CoreType.OOO2, CoreType.OOO4):
+        for fade_on in (False, True):
+            specs.append(SystemConfig(core_type=core, fade_enabled=fade_on))
+    for topology in (Topology.SINGLE_CORE_SMT, Topology.TWO_CORE):
+        for non_blocking in (False, True):
+            specs.append(
+                SystemConfig(
+                    topology=topology, fade_enabled=True, non_blocking=non_blocking
+                )
+            )
+    for event_capacity in (8, 32, 128):
+        specs.append(
+            SystemConfig(fade_enabled=True, event_queue_capacity=event_capacity)
+        )
+    for size_kb in (1, 4, 16):
+        specs.append(
+            SystemConfig(
+                fade_enabled=True,
+                md_cache=MetadataCacheConfig(size_bytes=size_kb * 1024),
+            )
+        )
+    return [RunSpec(BENCHMARK, MONITOR, config, SETTINGS) for config in specs]
 
 
 def main() -> None:
-    print(f"== Design space for {MONITOR} on {BENCHMARK} ==\n")
+    jobs = int(sys.argv[1]) if len(sys.argv) > 1 else 1
+    runner = ParallelRunner(jobs=jobs) if jobs > 1 else SerialRunner()
+    print(f"== Design space for {MONITOR} on {BENCHMARK} "
+          f"({'serial' if jobs <= 1 else f'{jobs} workers'}) ==\n")
+
+    results = runner.run(build_grid())
+
+    def cell(**config_kwargs):
+        return results.find(
+            RunSpec(BENCHMARK, MONITOR, SystemConfig(**config_kwargs), SETTINGS)
+        )
 
     rows = []
     for core in (CoreType.INORDER, CoreType.OOO2, CoreType.OOO4):
         for fade_on in (False, True):
-            result = run(core_type=core, fade_enabled=fade_on)
+            result = cell(core_type=core, fade_enabled=fade_on)
             rows.append(
                 [core.value, "FADE" if fade_on else "unaccel", result.slowdown]
             )
@@ -42,7 +81,7 @@ def main() -> None:
     rows = []
     for topology in (Topology.SINGLE_CORE_SMT, Topology.TWO_CORE):
         for non_blocking in (False, True):
-            result = run(
+            result = cell(
                 topology=topology, fade_enabled=True, non_blocking=non_blocking
             )
             rows.append(
@@ -56,7 +95,7 @@ def main() -> None:
 
     rows = []
     for event_capacity in (8, 32, 128):
-        result = run(fade_enabled=True, event_queue_capacity=event_capacity)
+        result = cell(fade_enabled=True, event_queue_capacity=event_capacity)
         occupancy = result.event_queue_stats.max_occupancy
         rows.append([event_capacity, occupancy, result.slowdown])
     print()
@@ -65,7 +104,7 @@ def main() -> None:
 
     rows = []
     for size_kb in (1, 4, 16):
-        result = run(
+        result = cell(
             fade_enabled=True,
             md_cache=MetadataCacheConfig(size_bytes=size_kb * 1024),
         )
@@ -74,6 +113,12 @@ def main() -> None:
     print()
     print(format_table(["MD cache", "M-TLB misses", "slowdown"], rows,
                        "MD cache sizing (Section 6 sensitivity)"))
+
+    saved = results.save(RESULTS_PATH)
+    reloaded = ResultSet.load(saved)
+    assert reloaded == results
+    print(f"\n[{len(results)} results saved to {saved}; "
+          f"ResultSet.load() restores an equal set]")
 
 
 if __name__ == "__main__":

@@ -8,6 +8,13 @@ Quick start::
     result = quick_run(benchmark="astar", monitor="memleak", fade=True)
     print(result.summary())
 
+Grids run through :mod:`repro.api`::
+
+    from repro.api import ParallelRunner, spec_grid
+
+    results = ParallelRunner(jobs=4).run(spec_grid(["astar"], ["memleak"]))
+    results.save("results.json")
+
 Layers (see DESIGN.md for the full map):
 
 * :mod:`repro.workload` — synthetic SPEC/SPLASH/PARSEC-like traces;
@@ -16,11 +23,25 @@ Layers (see DESIGN.md for the full map):
 * :mod:`repro.fade` — the programmable accelerator (event table, filter
   logic, SUU, Non-Blocking extensions);
 * :mod:`repro.system` — the assembled monitoring systems;
+* :mod:`repro.api` — declarative RunSpecs, registries, serial/parallel
+  runners and serializable ResultSets (the execution layer);
 * :mod:`repro.analysis` — one harness per paper table/figure;
 * :mod:`repro.power` — 40 nm area/power models.
 """
 
-from repro.analysis.experiments import ExperimentSettings, benchmarks_for, run_one
+from repro.analysis.experiments import benchmarks_for, run_one
+from repro.api import (
+    ExperimentSettings,
+    ParallelRunner,
+    ResultSet,
+    Runner,
+    RunSpec,
+    SerialRunner,
+    default_runner,
+    register_monitor,
+    register_profile,
+    spec_grid,
+)
 from repro.cores.base import CoreType
 from repro.fade import Fade, FadeConfig, FadeProgram, ProgramBuilder
 from repro.monitors import (
@@ -34,6 +55,7 @@ from repro.monitors import (
     Monitor,
     TaintCheck,
     create_monitor,
+    monitor_names,
 )
 from repro.system import MonitoringSimulation, RunResult, SystemConfig, Topology, simulate
 from repro.system.simulator import simulate_warmed
@@ -46,7 +68,7 @@ from repro.workload import (
     get_profile,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AddrCheck",
@@ -64,8 +86,13 @@ __all__ = [
     "MemLeak",
     "Monitor",
     "MonitoringSimulation",
+    "ParallelRunner",
     "ProgramBuilder",
+    "ResultSet",
     "RunResult",
+    "RunSpec",
+    "Runner",
+    "SerialRunner",
     "SystemConfig",
     "TaintCheck",
     "Topology",
@@ -74,12 +101,17 @@ __all__ = [
     "benchmark_names",
     "benchmarks_for",
     "create_monitor",
+    "default_runner",
     "generate_trace",
     "get_profile",
+    "monitor_names",
     "quick_run",
+    "register_monitor",
+    "register_profile",
     "run_one",
     "simulate",
     "simulate_warmed",
+    "spec_grid",
 ]
 
 
@@ -92,19 +124,26 @@ def quick_run(
     topology: Topology = Topology.SINGLE_CORE_SMT,
     num_instructions: int = 20_000,
     seed: int = 7,
+    runner: "Runner | None" = None,
 ) -> RunResult:
     """Generate a trace and simulate one monitoring system end to end.
 
-    Returns a :class:`RunResult` with the slowdown against the unmonitored
-    baseline, FADE's filtering statistics, queue occupancies and any bug
-    reports the monitor raised.
+    A thin veneer over :mod:`repro.api`: the call builds a
+    :class:`RunSpec` and executes it on the shared default runner (or the
+    one you pass), so traces are cached across repeated calls.  Returns a
+    :class:`RunResult` with the slowdown against the unmonitored baseline,
+    FADE's filtering statistics, queue occupancies and any bug reports the
+    monitor raised.
     """
-    profile = get_profile(benchmark)
-    trace = generate_trace(profile, num_instructions, seed=seed)
-    config = SystemConfig(
-        core_type=core,
-        topology=topology,
-        fade_enabled=fade,
-        non_blocking=non_blocking,
+    spec = RunSpec(
+        benchmark=benchmark,
+        monitor=monitor,
+        config=SystemConfig(
+            core_type=core,
+            topology=topology,
+            fade_enabled=fade,
+            non_blocking=non_blocking,
+        ),
+        settings=ExperimentSettings(num_instructions=num_instructions, seed=seed),
     )
-    return simulate_warmed(trace, create_monitor(monitor), config, profile)
+    return (runner if runner is not None else default_runner()).run_one(spec)

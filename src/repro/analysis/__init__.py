@@ -14,12 +14,16 @@ from repro.analysis.experiments import (
     fig3_queue_occupancy,
     fig3_queue_size_slowdown,
     fig4_breakdowns,
+    fig9_aggregate,
+    fig9_results,
     fig9_slowdown,
     fig10_core_types,
     fig11a_single_vs_two_core,
     fig11b_core_utilization,
     fig11c_blocking_vs_nonblocking,
+    table2_aggregate,
     table2_filtering,
+    table2_results,
 )
 from repro.analysis.formatting import format_table
 from repro.analysis.stats import geometric_mean, weighted_cdf
@@ -32,6 +36,8 @@ __all__ = [
     "fig3_queue_occupancy",
     "fig3_queue_size_slowdown",
     "fig4_breakdowns",
+    "fig9_aggregate",
+    "fig9_results",
     "fig9_slowdown",
     "fig10_core_types",
     "fig11a_single_vs_two_core",
@@ -39,6 +45,8 @@ __all__ = [
     "fig11c_blocking_vs_nonblocking",
     "format_table",
     "geometric_mean",
+    "table2_aggregate",
     "table2_filtering",
+    "table2_results",
     "weighted_cdf",
 ]

@@ -5,11 +5,17 @@ stand in for SPEC/SPLASH/PARSEC reference runs, and the leading half of each
 trace is functional warmup (the analogue of SMARTS checkpoints with warmed
 caches and metadata).  Results are returned as dictionaries/rows ready for
 :func:`repro.analysis.formatting.format_table`.
+
+Every harness builds a grid of :class:`~repro.api.RunSpec` cells and
+executes it through a :class:`~repro.api.Runner`; pass
+``runner=ParallelRunner(jobs=N)`` to fan a grid out over worker processes.
+The ``*_results`` variants return the raw :class:`~repro.api.ResultSet`
+(saveable as JSON) and the ``*_aggregate`` functions reduce one to the
+figure's data, so persisted results can be re-aggregated without resimulating.
 """
 
 from __future__ import annotations
 
-import dataclasses
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.stats import (
@@ -18,42 +24,29 @@ from repro.analysis.stats import (
     percentile_from_cdf,
     weighted_cdf,
 )
+from repro.api import (
+    DEFAULT_SETTINGS,
+    ExperimentSettings,
+    ResultSet,
+    Runner,
+    RunSpec,
+    default_runner,
+)
 from repro.cores.base import CoreType
-from repro.cores.retire import RetireModel
 from repro.isa.instruction import Instruction
 from repro.monitors import MONITOR_NAMES, create_monitor
-from repro.monitors.base import HandlerClass
 from repro.system.config import SystemConfig, Topology
 from repro.system.results import RunResult
-from repro.system.simulator import MonitoringSimulation
 from repro.workload.profiles import (
     PARALLEL_BENCHMARKS,
     SPEC_BENCHMARKS,
     TAINT_BENCHMARKS,
-    get_profile,
 )
-from repro.workload.generator import generate_trace
 from repro.workload.trace import Trace
 
 
-@dataclasses.dataclass(frozen=True)
-class ExperimentSettings:
-    """Trace length and seeding shared by all experiments."""
-
-    num_instructions: int = 24_000
-    seed: int = 7
-    warmup_fraction: float = 0.5
-
-    def scaled(self, factor: float) -> "ExperimentSettings":
-        return dataclasses.replace(
-            self, num_instructions=int(self.num_instructions * factor)
-        )
-
-
-DEFAULT_SETTINGS = ExperimentSettings()
-
-_TRACE_CACHE: Dict[Tuple[str, int, int], Trace] = {}
-_SCHEDULE_CACHE: Dict[Tuple[str, int, int, CoreType], List[float]] = {}
+def _runner(runner: Optional[Runner]) -> Runner:
+    return runner if runner is not None else default_runner()
 
 
 def benchmarks_for(monitor: str) -> List[str]:
@@ -66,28 +59,23 @@ def benchmarks_for(monitor: str) -> List[str]:
     return list(SPEC_BENCHMARKS)
 
 
-def get_trace(benchmark: str, settings: ExperimentSettings) -> Trace:
-    key = (benchmark, settings.num_instructions, settings.seed)
-    if key not in _TRACE_CACHE:
-        _TRACE_CACHE[key] = generate_trace(
-            get_profile(benchmark), settings.num_instructions, seed=settings.seed
-        )
-    return _TRACE_CACHE[key]
+def get_trace(
+    benchmark: str,
+    settings: ExperimentSettings,
+    runner: Optional[Runner] = None,
+) -> Trace:
+    """The (cached) synthetic trace for one benchmark/settings cell."""
+    return _runner(runner).cache.trace(benchmark, settings)
 
 
 def get_schedule(
-    benchmark: str, settings: ExperimentSettings, core: CoreType = CoreType.OOO4
+    benchmark: str,
+    settings: ExperimentSettings,
+    core: CoreType = CoreType.OOO4,
+    runner: Optional[Runner] = None,
 ) -> List[float]:
-    key = (benchmark, settings.num_instructions, settings.seed, core)
-    if key not in _SCHEDULE_CACHE:
-        profile = get_profile(benchmark)
-        model = RetireModel(
-            core_type=core,
-            bubble_prob=profile.bubble_prob,
-            bubble_mean=profile.bubble_mean,
-        )
-        _SCHEDULE_CACHE[key] = model.schedule(get_trace(benchmark, settings))
-    return _SCHEDULE_CACHE[key]
+    """The (cached) unobstructed retirement schedule for one cell."""
+    return _runner(runner).cache.schedule(benchmark, settings, core)
 
 
 def run_one(
@@ -95,14 +83,10 @@ def run_one(
     monitor_name: str,
     config: SystemConfig,
     settings: ExperimentSettings = DEFAULT_SETTINGS,
+    runner: Optional[Runner] = None,
 ) -> RunResult:
     """Simulate one (benchmark, monitor, system) cell with standard warmup."""
-    trace = get_trace(benchmark, settings)
-    monitor = create_monitor(monitor_name)
-    warmup = int(len(trace.items) * settings.warmup_fraction)
-    return MonitoringSimulation(
-        trace, monitor, config, get_profile(benchmark), warmup_items=warmup
-    ).run()
+    return _runner(runner).run_one(RunSpec(benchmark, monitor_name, config, settings))
 
 
 # ---------------------------------------------------------------------------
@@ -111,11 +95,14 @@ def run_one(
 
 
 def _tail_ipc(
-    benchmark: str, monitor_name: str, settings: ExperimentSettings
+    benchmark: str,
+    monitor_name: str,
+    settings: ExperimentSettings,
+    runner: Runner,
 ) -> Tuple[float, float]:
     """(app IPC, monitored IPC) on the steady-state (post-warmup) region."""
-    trace = get_trace(benchmark, settings)
-    schedule = get_schedule(benchmark, settings)
+    trace = get_trace(benchmark, settings, runner)
+    schedule = get_schedule(benchmark, settings, runner=runner)
     start = int(len(trace.items) * settings.warmup_fraction)
     span = schedule[-1] - schedule[start - 1] if start else schedule[-1]
     monitor = create_monitor(monitor_name)
@@ -133,13 +120,15 @@ def _tail_ipc(
 
 def fig2_monitored_ipc(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
+    runner: Optional[Runner] = None,
 ) -> Dict[str, object]:
     """Figure 2: per-monitor average IPC split, and per-benchmark splits for
     AddrCheck (b) and MemLeak (c)."""
+    runner = _runner(runner)
     per_monitor = {}
     for monitor_name in MONITOR_NAMES:
         rows = [
-            _tail_ipc(benchmark, monitor_name, settings)
+            _tail_ipc(benchmark, monitor_name, settings, runner)
             for benchmark in benchmarks_for(monitor_name)
         ]
         app = sum(row[0] for row in rows) / len(rows)
@@ -149,7 +138,10 @@ def fig2_monitored_ipc(
     for monitor_name in ("addrcheck", "memleak"):
         per_benchmark[monitor_name] = {
             benchmark: dict(
-                zip(("app_ipc", "monitored_ipc"), _tail_ipc(benchmark, monitor_name, settings))
+                zip(
+                    ("app_ipc", "monitored_ipc"),
+                    _tail_ipc(benchmark, monitor_name, settings, runner),
+                )
             )
             for benchmark in benchmarks_for(monitor_name)
         }
@@ -162,11 +154,14 @@ def fig2_monitored_ipc(
 
 
 def _monitored_arrivals(
-    benchmark: str, monitor_name: str, settings: ExperimentSettings
+    benchmark: str,
+    monitor_name: str,
+    settings: ExperimentSettings,
+    runner: Runner,
 ) -> List[float]:
     """Retirement times of monitored events in the steady-state region."""
-    trace = get_trace(benchmark, settings)
-    schedule = get_schedule(benchmark, settings)
+    trace = get_trace(benchmark, settings, runner)
+    schedule = get_schedule(benchmark, settings, runner=runner)
     start = int(len(trace.items) * settings.warmup_fraction)
     monitor = create_monitor(monitor_name)
     arrivals = []
@@ -181,12 +176,14 @@ def fig3_queue_occupancy(
     monitor_name: str = "memleak",
     settings: ExperimentSettings = DEFAULT_SETTINGS,
     benchmarks: Optional[Sequence[str]] = None,
+    runner: Optional[Runner] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Figure 3(a, b): occupancy of an infinite event queue drained by an
     ideal one-event-per-cycle filtering accelerator."""
+    runner = _runner(runner)
     out = {}
     for benchmark in benchmarks or benchmarks_for(monitor_name)[:8]:
-        arrivals = _monitored_arrivals(benchmark, monitor_name, settings)
+        arrivals = _monitored_arrivals(benchmark, monitor_name, settings, runner)
         departures: List[float] = []
         previous = 0.0
         for arrival in arrivals:
@@ -207,6 +204,7 @@ def fig3_queue_size_slowdown(
     monitor_name: str = "memleak",
     settings: ExperimentSettings = DEFAULT_SETTINGS,
     capacities: Sequence[int] = (32, 32_768),
+    runner: Optional[Runner] = None,
 ) -> Dict[str, Dict[int, float]]:
     """Figure 3(c): slowdown of finite event queues against the unmonitored
     baseline, with an ideal one-event-per-cycle consumer.
@@ -214,14 +212,15 @@ def fig3_queue_size_slowdown(
     Uses the blocking-queue recurrence: an arrival finding the queue full
     stalls the application, uniformly delaying the rest of the schedule.
     """
+    runner = _runner(runner)
     out: Dict[str, Dict[int, float]] = {}
     for benchmark in benchmarks_for(monitor_name):
-        trace = get_trace(benchmark, settings)
-        schedule = get_schedule(benchmark, settings)
+        trace = get_trace(benchmark, settings, runner)
+        schedule = get_schedule(benchmark, settings, runner=runner)
         start = int(len(trace.items) * settings.warmup_fraction)
         base_start = schedule[start - 1] if start else 0.0
         baseline = schedule[-1] - base_start
-        arrivals = _monitored_arrivals(benchmark, monitor_name, settings)
+        arrivals = _monitored_arrivals(benchmark, monitor_name, settings, runner)
         out[benchmark] = {}
         for capacity in capacities:
             delay = 0.0
@@ -246,24 +245,31 @@ def fig3_queue_size_slowdown(
 
 def fig4_breakdowns(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
+    runner: Optional[Runner] = None,
 ) -> Dict[str, object]:
     """Figure 4(a): software execution-time breakdown per monitor;
     (b): distance CDF between unfiltered events for MemLeak;
     (c): average unfiltered burst size per monitor/benchmark."""
     unaccelerated = SystemConfig(fade_enabled=False)
+    specs = [
+        RunSpec(benchmark, monitor_name, unaccelerated, settings)
+        for monitor_name in MONITOR_NAMES
+        for benchmark in benchmarks_for(monitor_name)
+    ]
+    results = _runner(runner).run(specs)
     time_breakdown = {}
     burst_sizes: Dict[str, Dict[str, float]] = {}
     distance_cdf: Dict[str, List[Tuple[int, float]]] = {}
-    for monitor_name in MONITOR_NAMES:
+    for monitor_name, group in results.group_by("monitor").items():
         shares_acc: Dict[str, float] = {}
         bursts: Dict[str, float] = {}
-        for benchmark in benchmarks_for(monitor_name):
-            result = run_one(benchmark, monitor_name, unaccelerated, settings)
+        for record in group:
+            result = record.result
             for cls, cost in result.handler_instructions.items():
                 shares_acc[cls.value] = shares_acc.get(cls.value, 0.0) + cost
-            bursts[benchmark] = result.average_burst_size
+            bursts[record.spec.benchmark] = result.average_burst_size
             if monitor_name == "memleak":
-                distance_cdf[benchmark] = weighted_cdf(
+                distance_cdf[record.spec.benchmark] = weighted_cdf(
                     dict(result.unfiltered_distances)
                 )
         total = sum(shares_acc.values()) or 1.0
@@ -283,19 +289,34 @@ def fig4_breakdowns(
 # ---------------------------------------------------------------------------
 
 
+def table2_results(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    runner: Optional[Runner] = None,
+) -> ResultSet:
+    """The raw Table 2 grid: every monitor over its suite, FADE enabled."""
+    config = SystemConfig(fade_enabled=True, non_blocking=True)
+    specs = [
+        RunSpec(benchmark, monitor_name, config, settings)
+        for monitor_name in MONITOR_NAMES
+        for benchmark in benchmarks_for(monitor_name)
+    ]
+    return _runner(runner).run(specs)
+
+
+def table2_aggregate(results: ResultSet) -> Dict[str, float]:
+    """Reduce a Table 2 :class:`ResultSet` to per-monitor filtering %."""
+    return {
+        monitor_name: 100.0 * group.mean("filtering_ratio")
+        for monitor_name, group in results.group_by("monitor").items()
+    }
+
+
 def table2_filtering(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
+    runner: Optional[Runner] = None,
 ) -> Dict[str, float]:
     """Table 2: fraction of instruction event handlers filtered by FADE."""
-    config = SystemConfig(fade_enabled=True, non_blocking=True)
-    out = {}
-    for monitor_name in MONITOR_NAMES:
-        ratios = [
-            run_one(benchmark, monitor_name, config, settings).filtering_ratio
-            for benchmark in benchmarks_for(monitor_name)
-        ]
-        out[monitor_name] = 100.0 * sum(ratios) / len(ratios)
-    return out
+    return table2_aggregate(table2_results(settings, runner))
 
 
 # ---------------------------------------------------------------------------
@@ -303,20 +324,33 @@ def table2_filtering(
 # ---------------------------------------------------------------------------
 
 
-def fig9_slowdown(
+def fig9_results(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
     monitors: Sequence[str] = tuple(MONITOR_NAMES),
-) -> Dict[str, object]:
-    """Figure 9: per-benchmark slowdowns for the single-core dual-threaded
-    4-way OoO system, unaccelerated versus (non-blocking) FADE."""
+    runner: Optional[Runner] = None,
+) -> ResultSet:
+    """The raw Figure 9 grid: unaccelerated and (non-blocking) FADE cells
+    for every monitor/benchmark pair."""
     unaccelerated = SystemConfig(fade_enabled=False)
     accelerated = SystemConfig(fade_enabled=True, non_blocking=True)
+    specs = [
+        RunSpec(benchmark, monitor_name, config, settings)
+        for monitor_name in monitors
+        for benchmark in benchmarks_for(monitor_name)
+        for config in (unaccelerated, accelerated)
+    ]
+    return _runner(runner).run(specs)
+
+
+def fig9_aggregate(results: ResultSet) -> Dict[str, object]:
+    """Reduce a Figure 9 :class:`ResultSet` to per-benchmark slowdown rows
+    plus a gmean row per monitor."""
     per_monitor: Dict[str, Dict[str, Dict[str, float]]] = {}
-    for monitor_name in monitors:
+    for monitor_name, group in results.group_by("monitor").items():
         rows = {}
-        for benchmark in benchmarks_for(monitor_name):
-            base = run_one(benchmark, monitor_name, unaccelerated, settings)
-            fade = run_one(benchmark, monitor_name, accelerated, settings)
+        for benchmark, cell in group.group_by("benchmark").items():
+            base = cell.filter(fade_enabled=False).results[0]
+            fade = cell.filter(fade_enabled=True).results[0]
             rows[benchmark] = {
                 "unaccelerated": base.slowdown,
                 "fade": fade.slowdown,
@@ -334,6 +368,16 @@ def fig9_slowdown(
     return per_monitor
 
 
+def fig9_slowdown(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    monitors: Sequence[str] = tuple(MONITOR_NAMES),
+    runner: Optional[Runner] = None,
+) -> Dict[str, object]:
+    """Figure 9: per-benchmark slowdowns for the single-core dual-threaded
+    4-way OoO system, unaccelerated versus (non-blocking) FADE."""
+    return fig9_aggregate(fig9_results(settings, monitors, runner))
+
+
 # ---------------------------------------------------------------------------
 # Figure 10: sensitivity to the core microarchitecture.
 # ---------------------------------------------------------------------------
@@ -342,21 +386,31 @@ def fig9_slowdown(
 def fig10_core_types(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
     monitors: Sequence[str] = tuple(MONITOR_NAMES),
+    runner: Optional[Runner] = None,
 ) -> Dict[str, Dict[str, Dict[str, float]]]:
     """Figure 10: gmean slowdown per monitor for in-order / 2-way / 4-way
     cores, unaccelerated versus FADE (single-core system)."""
+    cores = (CoreType.INORDER, CoreType.OOO2, CoreType.OOO4)
+    specs = [
+        RunSpec(
+            benchmark,
+            monitor_name,
+            SystemConfig(core_type=core, fade_enabled=fade_on),
+            settings,
+        )
+        for monitor_name in monitors
+        for core in cores
+        for benchmark in benchmarks_for(monitor_name)
+        for fade_on in (False, True)
+    ]
+    results = _runner(runner).run(specs)
     out: Dict[str, Dict[str, Dict[str, float]]] = {}
-    for monitor_name in monitors:
+    for monitor_name, group in results.group_by("monitor").items():
         out[monitor_name] = {}
-        for core in (CoreType.INORDER, CoreType.OOO2, CoreType.OOO4):
-            slowdowns = {"unaccelerated": [], "fade": []}
-            for benchmark in benchmarks_for(monitor_name):
-                for label, fade_on in (("unaccelerated", False), ("fade", True)):
-                    config = SystemConfig(core_type=core, fade_enabled=fade_on)
-                    result = run_one(benchmark, monitor_name, config, settings)
-                    slowdowns[label].append(result.slowdown)
+        for core, core_group in group.group_by("core_type").items():
             out[monitor_name][core.value] = {
-                label: geometric_mean(values) for label, values in slowdowns.items()
+                "unaccelerated": core_group.filter(fade_enabled=False).geomean(),
+                "fade": core_group.filter(fade_enabled=True).geomean(),
             }
     return out
 
@@ -368,55 +422,82 @@ def fig10_core_types(
 
 def fig11a_single_vs_two_core(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
+    runner: Optional[Runner] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Figure 11(a): FADE-enabled single-core versus two-core slowdowns."""
+    labelled = (
+        ("single-core", Topology.SINGLE_CORE_SMT),
+        ("two-core", Topology.TWO_CORE),
+    )
+    specs = [
+        RunSpec(
+            benchmark,
+            monitor_name,
+            SystemConfig(topology=topology, fade_enabled=True),
+            settings,
+        )
+        for monitor_name in MONITOR_NAMES
+        for _, topology in labelled
+        for benchmark in benchmarks_for(monitor_name)
+    ]
+    results = _runner(runner).run(specs)
     out = {}
-    for monitor_name in MONITOR_NAMES:
-        row = {}
-        for label, topology in (
-            ("single-core", Topology.SINGLE_CORE_SMT),
-            ("two-core", Topology.TWO_CORE),
-        ):
-            config = SystemConfig(topology=topology, fade_enabled=True)
-            row[label] = geometric_mean(
-                run_one(benchmark, monitor_name, config, settings).slowdown
-                for benchmark in benchmarks_for(monitor_name)
-            )
-        out[monitor_name] = row
+    for monitor_name, group in results.group_by("monitor").items():
+        out[monitor_name] = {
+            label: group.filter(topology=topology).geomean()
+            for label, topology in labelled
+        }
     return out
 
 
 def fig11b_core_utilization(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
+    runner: Optional[Runner] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Figure 11(b): two-core execution-time breakdown: app core idle
     (event queue full), monitor core idle (everything filtered), both busy."""
     config = SystemConfig(topology=Topology.TWO_CORE, fade_enabled=True)
+    specs = [
+        RunSpec(benchmark, monitor_name, config, settings)
+        for monitor_name in MONITOR_NAMES
+        for benchmark in benchmarks_for(monitor_name)
+    ]
+    results = _runner(runner).run(specs)
     out = {}
-    for monitor_name in MONITOR_NAMES:
+    for monitor_name, group in results.group_by("monitor").items():
         totals = {"app_idle": 0.0, "monitor_idle": 0.0, "both_busy": 0.0}
-        for benchmark in benchmarks_for(monitor_name):
-            result = run_one(benchmark, monitor_name, config, settings)
+        for result in group.results:
             for key, value in result.cycle_breakdown.percentages().items():
                 totals[key] += value
-        count = len(benchmarks_for(monitor_name))
+        count = len(group)
         out[monitor_name] = {key: value / count for key, value in totals.items()}
     return out
 
 
 def fig11c_blocking_vs_nonblocking(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
+    runner: Optional[Runner] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Figure 11(c): baseline (blocking) FADE versus Non-Blocking FADE."""
+    labelled = (("blocking", False), ("non-blocking", True))
+    specs = [
+        RunSpec(
+            benchmark,
+            monitor_name,
+            SystemConfig(fade_enabled=True, non_blocking=non_blocking),
+            settings,
+        )
+        for monitor_name in MONITOR_NAMES
+        for _, non_blocking in labelled
+        for benchmark in benchmarks_for(monitor_name)
+    ]
+    results = _runner(runner).run(specs)
     out = {}
-    for monitor_name in MONITOR_NAMES:
-        row = {}
-        for label, non_blocking in (("blocking", False), ("non-blocking", True)):
-            config = SystemConfig(fade_enabled=True, non_blocking=non_blocking)
-            row[label] = geometric_mean(
-                run_one(benchmark, monitor_name, config, settings).slowdown
-                for benchmark in benchmarks_for(monitor_name)
-            )
+    for monitor_name, group in results.group_by("monitor").items():
+        row = {
+            label: group.filter(non_blocking=non_blocking).geomean()
+            for label, non_blocking in labelled
+        }
         row["speedup"] = row["blocking"] / row["non-blocking"]
         out[monitor_name] = row
     return out

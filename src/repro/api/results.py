@@ -1,0 +1,211 @@
+"""Serializable result containers.
+
+A :class:`ResultSet` is an ordered collection of (spec, result) pairs with
+filtering, grouping and geomean aggregation — the shape every figure harness
+reduces over — plus JSON save/load so benchmark trajectories persist between
+invocations and can be compared across runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import os
+import pathlib
+from collections import OrderedDict
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Union,
+)
+
+from repro.system.results import RunResult
+
+from repro.api.spec import RunSpec
+
+#: A metric is a RunResult attribute/property name or a callable over it.
+Metric = Union[str, Callable[[RunResult], float]]
+#: A grouping key is a RunSpec/SystemConfig field name or a callable.
+GroupKey = Union[str, Callable[["RunRecord"], Any]]
+
+
+@dataclasses.dataclass(frozen=True)
+class RunRecord:
+    """One executed cell: the spec that described it and its result."""
+
+    spec: RunSpec
+    result: RunResult
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"spec": self.spec.to_dict(), "result": self.result.to_dict()}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "RunRecord":
+        return cls(
+            spec=RunSpec.from_dict(data["spec"]),
+            result=RunResult.from_dict(data["result"]),
+        )
+
+
+def _metric_value(result: RunResult, metric: Metric) -> float:
+    if callable(metric):
+        return metric(result)
+    return getattr(result, metric)
+
+
+def _geometric_mean(values: List[float]) -> float:
+    # Local copy of repro.analysis.stats.geometric_mean: the analysis layer
+    # sits above repro.api, so importing it here would be circular.
+    positives = [value for value in values if value > 0.0]
+    if not positives:
+        return 0.0
+    return math.exp(sum(math.log(value) for value in positives) / len(positives))
+
+
+class ResultSet:
+    """An ordered, serializable collection of :class:`RunRecord`."""
+
+    SCHEMA_VERSION = 1
+
+    def __init__(self, records: Iterable[RunRecord] = ()) -> None:
+        self._records: List[RunRecord] = list(records)
+
+    # ----------------------------------------------------------- building
+
+    def add(self, spec: RunSpec, result: RunResult) -> None:
+        self._records.append(RunRecord(spec, result))
+
+    def extend(self, other: Iterable[RunRecord]) -> None:
+        self._records.extend(other)
+
+    def __add__(self, other: "ResultSet") -> "ResultSet":
+        return ResultSet(list(self._records) + list(other._records))
+
+    # ------------------------------------------------------------- access
+
+    @property
+    def records(self) -> List[RunRecord]:
+        return list(self._records)
+
+    @property
+    def specs(self) -> List[RunSpec]:
+        return [record.spec for record in self._records]
+
+    @property
+    def results(self) -> List[RunResult]:
+        return [record.result for record in self._records]
+
+    def find(self, spec: RunSpec) -> Optional[RunResult]:
+        """The result of an exact spec, or None (specs hash by value)."""
+        for record in self._records:
+            if record.spec == spec:
+                return record.result
+        return None
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[RunRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> RunRecord:
+        return self._records[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ResultSet):
+            return NotImplemented
+        return self._records == other._records
+
+    def __repr__(self) -> str:
+        return f"ResultSet({len(self._records)} records)"
+
+    # -------------------------------------------------------- aggregation
+
+    def _group_value(self, record: RunRecord, key: GroupKey) -> Any:
+        if callable(key):
+            return key(record)
+        if hasattr(record.spec, key):
+            return getattr(record.spec, key)
+        if hasattr(record.spec.config, key):
+            return getattr(record.spec.config, key)
+        raise AttributeError(
+            f"{key!r} is neither a RunSpec nor a SystemConfig field"
+        )
+
+    def filter(
+        self,
+        predicate: Optional[Callable[[RunRecord], bool]] = None,
+        **fields: Any,
+    ) -> "ResultSet":
+        """Records matching every criterion.  Keyword criteria name RunSpec
+        fields (``benchmark=\"astar\"``) or SystemConfig fields
+        (``fade_enabled=True``); ``predicate`` sees the whole record."""
+
+        def keep(record: RunRecord) -> bool:
+            for key, wanted in fields.items():
+                if self._group_value(record, key) != wanted:
+                    return False
+            return predicate is None or predicate(record)
+
+        return ResultSet(record for record in self._records if keep(record))
+
+    def group_by(self, key: GroupKey) -> "OrderedDict[Any, ResultSet]":
+        """Partition into sub-sets, preserving first-seen group order."""
+        groups: "OrderedDict[Any, ResultSet]" = OrderedDict()
+        for record in self._records:
+            groups.setdefault(self._group_value(record, key), ResultSet()).add(
+                record.spec, record.result
+            )
+        return groups
+
+    def values(self, metric: Metric = "slowdown") -> List[float]:
+        return [_metric_value(record.result, metric) for record in self._records]
+
+    def geomean(self, metric: Metric = "slowdown") -> float:
+        """Geometric mean of a metric across all records (non-positive
+        values are ignored, matching the analysis layer's convention)."""
+        return _geometric_mean(self.values(metric))
+
+    def mean(self, metric: Metric = "slowdown") -> float:
+        values = self.values(metric)
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+    # ------------------------------------------------------- serialization
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema_version": self.SCHEMA_VERSION,
+            "records": [record.to_dict() for record in self._records],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ResultSet":
+        version = data.get("schema_version", cls.SCHEMA_VERSION)
+        if version != cls.SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported ResultSet schema_version {version!r}; "
+                f"this build reads version {cls.SCHEMA_VERSION}"
+            )
+        return cls(RunRecord.from_dict(entry) for entry in data.get("records", []))
+
+    def save(self, path: Union[str, os.PathLike]) -> pathlib.Path:
+        """Write the set as JSON (creating parent directories as needed);
+        :meth:`load` restores an equal set."""
+        target = pathlib.Path(path)
+        if target.parent != pathlib.Path("."):
+            target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(self.to_dict(), indent=1, sort_keys=True))
+        return target
+
+    @classmethod
+    def load(cls, path: Union[str, os.PathLike]) -> "ResultSet":
+        return cls.from_dict(json.loads(pathlib.Path(path).read_text()))

@@ -1,0 +1,163 @@
+"""Runners: execute :class:`RunSpec` grids serially or across processes.
+
+Every runner owns its trace/schedule cache (no module-global state) and
+returns results in spec order, so serial and parallel execution of the same
+grid produce identical :class:`~repro.api.results.ResultSet` contents — the
+whole simulation derives its randomness deterministically from the spec.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Iterable, List, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.monitors import MONITOR_REGISTRY, create_monitor
+from repro.system.results import RunResult
+from repro.system.simulator import MonitoringSimulation
+from repro.workload.profiles import get_profile
+
+from repro.api.cache import RunnerCache
+from repro.api.results import ResultSet, RunRecord
+from repro.api.spec import RunSpec
+
+
+def execute_spec(spec: RunSpec, cache: Optional[RunnerCache] = None) -> RunResult:
+    """Simulate one cell with the standard warmup methodology."""
+    if cache is None:
+        cache = RunnerCache(max_traces=1, max_schedules=1)
+    trace = cache.trace(spec.benchmark, spec.settings)
+    warmup = int(len(trace.items) * spec.settings.warmup_fraction)
+    return MonitoringSimulation(
+        trace,
+        create_monitor(spec.monitor),
+        spec.config,
+        get_profile(spec.benchmark),
+        warmup_items=warmup,
+    ).run()
+
+
+class Runner:
+    """Executes specs; owns the bounded trace/schedule cache for its runs."""
+
+    def __init__(self, cache: Optional[RunnerCache] = None) -> None:
+        self.cache = cache if cache is not None else RunnerCache()
+
+    def run_one(self, spec: RunSpec) -> RunResult:
+        return execute_spec(spec, self.cache)
+
+    def run(self, specs: Iterable[RunSpec]) -> ResultSet:
+        raise NotImplementedError
+
+
+class SerialRunner(Runner):
+    """In-process execution, one spec at a time, in spec order."""
+
+    def run(self, specs: Iterable[RunSpec]) -> ResultSet:
+        return ResultSet(RunRecord(spec, self.run_one(spec)) for spec in specs)
+
+
+# Per-process state for pool workers: each worker builds its own cache once,
+# so specs sharing a benchmark reuse the trace within that process.
+_WORKER_CACHE: Optional[RunnerCache] = None
+
+
+def _worker_init() -> None:
+    global _WORKER_CACHE
+    _WORKER_CACHE = RunnerCache()
+
+
+def _worker_run(spec: RunSpec) -> RunResult:
+    global _WORKER_CACHE
+    if _WORKER_CACHE is None:  # Pool created without the initializer.
+        _WORKER_CACHE = RunnerCache()
+    return execute_spec(spec, _WORKER_CACHE)
+
+
+class ParallelRunner(Runner):
+    """Fans a grid out over a process pool.
+
+    Simulations are CPU-bound pure Python, so processes (not threads) are
+    the unit of parallelism; wall-clock improvement scales with available
+    cores.  The ``fork`` start method is preferred so monitors and profiles
+    registered at runtime remain visible to workers.  Single-spec grids,
+    ``jobs=1`` and platforms without working process pools fall back to
+    serial execution; results are bit-identical either way.
+    """
+
+    def __init__(
+        self, jobs: Optional[int] = None, cache: Optional[RunnerCache] = None
+    ) -> None:
+        super().__init__(cache)
+        self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
+
+    def run(self, specs: Iterable[RunSpec]) -> ResultSet:
+        spec_list = list(specs)
+        workers = min(self.jobs, len(spec_list))
+        if workers <= 1:
+            return SerialRunner(self.cache).run(spec_list)
+        # Validate names in the parent so a genuinely unknown monitor or
+        # benchmark fails fast here; a ConfigurationError raised in a worker
+        # afterwards means the worker cannot see this process's runtime
+        # registrations (spawn-based pools) and serial execution can finish.
+        for spec in spec_list:
+            if spec.monitor not in MONITOR_REGISTRY:
+                create_monitor(spec.monitor)  # Raises with the known names.
+            get_profile(spec.benchmark)
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:
+            context = None
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_worker_init,
+                mp_context=context,
+            ) as pool:
+                chunk = max(1, len(spec_list) // (workers * 4))
+                results = list(pool.map(_worker_run, spec_list, chunksize=chunk))
+        except (OSError, PermissionError, BrokenProcessPool, ConfigurationError) as error:
+            warnings.warn(
+                f"process pool unavailable ({error}); running serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return SerialRunner(self.cache).run(spec_list)
+        return ResultSet(
+            RunRecord(spec, result) for spec, result in zip(spec_list, results)
+        )
+
+
+_DEFAULT_RUNNER: Optional[Runner] = None
+
+
+def default_runner() -> Runner:
+    """The shared in-process runner used when callers don't pass their own.
+
+    Lazily created so importing :mod:`repro` costs nothing; its bounded
+    cache replaces the old module-global trace/schedule caches.
+    """
+    global _DEFAULT_RUNNER
+    if _DEFAULT_RUNNER is None:
+        _DEFAULT_RUNNER = SerialRunner()
+    return _DEFAULT_RUNNER
+
+
+def set_default_runner(runner: Optional[Runner]) -> None:
+    """Override (or with None, reset) the shared default runner."""
+    global _DEFAULT_RUNNER
+    _DEFAULT_RUNNER = runner
+
+
+def run_specs(
+    specs: Iterable[RunSpec], jobs: int = 1, runner: Optional[Runner] = None
+) -> ResultSet:
+    """Convenience entry point: run a grid with ``jobs`` worker processes
+    (``jobs <= 1`` means in-process serial execution)."""
+    if runner is None:
+        runner = ParallelRunner(jobs=jobs) if jobs > 1 else default_runner()
+    return runner.run(specs)

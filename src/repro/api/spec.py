@@ -1,0 +1,118 @@
+"""Declarative run specifications — the unit of work of :mod:`repro.api`.
+
+A :class:`RunSpec` fully describes one simulation cell: benchmark, monitor,
+:class:`~repro.system.config.SystemConfig` and :class:`ExperimentSettings`.
+Specs are frozen and hashable (they key caches and result indexes) and
+JSON-round-trippable (grids and their results persist between invocations).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from repro.system.config import SystemConfig
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentSettings:
+    """Trace length and seeding shared by all experiments.
+
+    The leading ``warmup_fraction`` of every trace is applied functionally at
+    zero cost before timing starts — the analogue of the paper's SMARTS
+    checkpoints with warmed caches and metadata (Section 6).
+    """
+
+    num_instructions: int = 24_000
+    seed: int = 7
+    warmup_fraction: float = 0.5
+
+    def scaled(self, factor: float) -> "ExperimentSettings":
+        return dataclasses.replace(
+            self, num_instructions=int(self.num_instructions * factor)
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON representation; the inverse of :meth:`from_dict`."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ExperimentSettings":
+        return cls(**data)
+
+
+DEFAULT_SETTINGS = ExperimentSettings()
+
+
+@dataclasses.dataclass(frozen=True)
+class RunSpec:
+    """One simulation cell: (benchmark, monitor, system, settings).
+
+    The benchmark and monitor are carried by *name* and resolved through the
+    registries at execution time, so a spec built in one process can execute
+    in another (the basis of :class:`~repro.api.runner.ParallelRunner`).
+    """
+
+    benchmark: str
+    monitor: str
+    config: SystemConfig = dataclasses.field(default_factory=SystemConfig)
+    settings: ExperimentSettings = dataclasses.field(
+        default_factory=ExperimentSettings
+    )
+
+    def replace(self, **changes: object) -> "RunSpec":
+        """A copy with the given fields replaced (specs are immutable)."""
+        return dataclasses.replace(self, **changes)
+
+    def describe(self) -> str:
+        return (
+            f"{self.benchmark}/{self.monitor} on {self.config.describe()} "
+            f"(n={self.settings.num_instructions}, seed={self.settings.seed})"
+        )
+
+    # ------------------------------------------------------- serialization
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON representation; the inverse of :meth:`from_dict`."""
+        return {
+            "benchmark": self.benchmark,
+            "monitor": self.monitor,
+            "config": self.config.to_dict(),
+            "settings": self.settings.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "RunSpec":
+        return cls(
+            benchmark=data["benchmark"],
+            monitor=data["monitor"],
+            config=SystemConfig.from_dict(data["config"]),
+            settings=ExperimentSettings.from_dict(data["settings"]),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunSpec":
+        return cls.from_dict(json.loads(text))
+
+
+def spec_grid(
+    benchmarks: Iterable[str],
+    monitors: Iterable[str],
+    configs: Sequence[SystemConfig] = (),
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+) -> List[RunSpec]:
+    """The Cartesian product of the axes, in deterministic row-major order
+    (monitor-major, then benchmark, then config) — the grid shape every
+    figure harness uses."""
+    config_list = list(configs) or [SystemConfig()]
+    benchmark_list = list(benchmarks)
+    return [
+        RunSpec(benchmark, monitor, config, settings)
+        for monitor in monitors
+        for benchmark in benchmark_list
+        for config in config_list
+    ]

@@ -7,31 +7,61 @@ Commands:
 * ``table2`` / ``fig9`` — regenerate the headline experiments.
 * ``area`` — print the Section 7.6 area/power report.
 * ``list`` — show the available benchmarks and monitors.
+
+Experiment commands accept ``--jobs N`` (fan the grid out over N worker
+processes) and ``--out results.json`` (persist the raw
+:class:`~repro.api.ResultSet`; ``repro.api.ResultSet.load`` restores it).
+Monitors and benchmarks registered through :mod:`repro.api` are runnable by
+name like the built-in ones.
 """
 
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 from typing import List, Optional
 
 from repro.analysis import (
     ExperimentSettings,
-    fig9_slowdown,
+    fig9_aggregate,
+    fig9_results,
     format_table,
-    table2_filtering,
+    table2_aggregate,
+    table2_results,
+)
+from repro.api import (
+    ParallelRunner,
+    ResultSet,
+    Runner,
+    RunSpec,
+    SerialRunner,
+    benchmark_names,
+    monitor_names,
 )
 from repro.cores.base import CoreType
-from repro.monitors import MONITOR_NAMES, create_monitor
 from repro.system import SystemConfig, Topology
-from repro.system.simulator import simulate_warmed
-from repro.workload import benchmark_names, generate_trace, get_profile
 
 _CORES = {"inorder": CoreType.INORDER, "ooo2": CoreType.OOO2, "ooo4": CoreType.OOO4}
 _TOPOLOGIES = {
     "single": Topology.SINGLE_CORE_SMT,
     "two-core": Topology.TWO_CORE,
 }
+
+
+def _add_execution_arguments(
+    parser: argparse.ArgumentParser, jobs: bool = True
+) -> None:
+    # --jobs only belongs on grid commands; `run` is always a single spec.
+    if jobs:
+        parser.add_argument(
+            "-j", "--jobs", type=int, default=1,
+            help="worker processes for the simulation grid (default: 1, serial)",
+        )
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=None, metavar="FILE",
+        help="save the raw results as JSON (reload with ResultSet.load)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -43,7 +73,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="simulate one monitoring run")
     run.add_argument("--benchmark", default="astar", choices=benchmark_names())
-    run.add_argument("--monitor", default="memleak", choices=MONITOR_NAMES)
+    run.add_argument("--monitor", default="memleak", choices=monitor_names())
     run.add_argument("--core", default="ooo4", choices=sorted(_CORES))
     run.add_argument("--topology", default="single", choices=sorted(_TOPOLOGIES))
     run.add_argument("--no-fade", action="store_true", help="unaccelerated system")
@@ -51,6 +81,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("-n", "--instructions", type=int, default=20_000)
     run.add_argument("--seed", type=int, default=7)
     run.add_argument("--warmup", type=float, default=0.5)
+    _add_execution_arguments(run, jobs=False)
 
     for name, help_text in (
         ("table2", "regenerate Table 2 (filtering efficiency)"),
@@ -59,25 +90,46 @@ def build_parser() -> argparse.ArgumentParser:
         exp = sub.add_parser(name, help=help_text)
         exp.add_argument("-n", "--instructions", type=int, default=12_000)
         exp.add_argument("--seed", type=int, default=7)
+        _add_execution_arguments(exp)
 
     sub.add_parser("area", help="Section 7.6 area/power report")
     sub.add_parser("list", help="available benchmarks and monitors")
     return parser
 
 
+def _make_runner(jobs: int) -> Runner:
+    return ParallelRunner(jobs=jobs) if jobs and jobs > 1 else SerialRunner()
+
+
+def _maybe_save(results: ResultSet, out: Optional[pathlib.Path]) -> int:
+    """Persist results if requested; returns the command's exit status so a
+    failed save is reported (the tables above are already printed)."""
+    if out is None:
+        return 0
+    try:
+        results.save(out)
+    except OSError as error:
+        print(f"error: could not write {out}: {error}", file=sys.stderr)
+        return 1
+    print(f"[{len(results)} result(s) written to {out}]")
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    profile = get_profile(args.benchmark)
-    trace = generate_trace(profile, args.instructions, seed=args.seed)
+    settings = ExperimentSettings(
+        num_instructions=args.instructions,
+        seed=args.seed,
+        warmup_fraction=args.warmup,
+    )
     config = SystemConfig(
         core_type=_CORES[args.core],
         topology=_TOPOLOGIES[args.topology],
         fade_enabled=not args.no_fade,
         non_blocking=not args.blocking,
     )
-    result = simulate_warmed(
-        trace, create_monitor(args.monitor), config, profile,
-        warmup_fraction=args.warmup,
-    )
+    spec = RunSpec(args.benchmark, args.monitor, config, settings)
+    results = SerialRunner().run([spec])
+    result = results.results[0]
     print(result.summary())
     if result.fade_stats is not None:
         stats = result.fade_stats
@@ -95,28 +147,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"  handler time: {shares}")
     for report in result.reports:
         print(f"  {report}")
-    return 0
+    return _maybe_save(results, args.out)
 
 
 def _cmd_table2(args: argparse.Namespace) -> int:
     settings = ExperimentSettings(num_instructions=args.instructions, seed=args.seed)
-    measured = table2_filtering(settings)
+    results = table2_results(settings, runner=_make_runner(args.jobs))
+    measured = table2_aggregate(results)
     rows = [[name, value] for name, value in measured.items()]
     print(format_table(["monitor", "filtering %"], rows,
                        "Table 2: FADE filtering efficiency"))
-    return 0
+    return _maybe_save(results, args.out)
 
 
 def _cmd_fig9(args: argparse.Namespace) -> int:
     settings = ExperimentSettings(num_instructions=args.instructions, seed=args.seed)
-    data = fig9_slowdown(settings)
+    results = fig9_results(settings, runner=_make_runner(args.jobs))
+    data = fig9_aggregate(results)
     rows = []
     for monitor_name, per_bench in data.items():
         gmean = per_bench["gmean"]
         rows.append([monitor_name, gmean["unaccelerated"], gmean["fade"]])
     print(format_table(["monitor", "unaccelerated", "FADE"], rows,
                        "Figure 9 (gmean): slowdown vs unmonitored baseline"))
-    return 0
+    return _maybe_save(results, args.out)
 
 
 def _cmd_area(_: argparse.Namespace) -> int:
@@ -138,7 +192,7 @@ def _cmd_area(_: argparse.Namespace) -> int:
 
 def _cmd_list(_: argparse.Namespace) -> int:
     print("benchmarks:", " ".join(benchmark_names()))
-    print("monitors:  ", " ".join(MONITOR_NAMES))
+    print("monitors:  ", " ".join(monitor_names()))
     return 0
 
 

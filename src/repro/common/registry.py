@@ -1,0 +1,76 @@
+"""A small name -> value registry with duplicate protection.
+
+Backs the pluggable monitor and benchmark-profile tables consumed by
+:mod:`repro.api`: extensions register new entries at import time and every
+lookup path (the CLI, :func:`repro.quick_run`, experiment grids) sees them
+immediately, without editing core modules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Iterator, List, TypeVar
+
+from repro.common.errors import ConfigurationError
+
+T = TypeVar("T")
+
+
+class Registry(Generic[T]):
+    """Case-insensitive name -> value mapping that rejects duplicates.
+
+    Names are canonicalised to lower case so ``"MemLeak"`` and ``"memleak"``
+    resolve to the same entry, matching the historical behaviour of
+    ``create_monitor``.
+    """
+
+    def __init__(self, kind: str) -> None:
+        #: Human-readable label ("monitor", "benchmark") used in errors.
+        self.kind = kind
+        self._items: Dict[str, T] = {}
+
+    @staticmethod
+    def canonical(name: str) -> str:
+        return name.strip().lower()
+
+    def register(self, name: str, value: T, *, replace: bool = False) -> T:
+        """Add an entry; raises :class:`ConfigurationError` on duplicates
+        unless ``replace=True``.  Returns ``value`` so it can decorate."""
+        key = self.canonical(name)
+        if not key:
+            raise ConfigurationError(f"{self.kind} name must be non-empty")
+        if not replace and key in self._items:
+            raise ConfigurationError(
+                f"duplicate {self.kind} {name!r}; pass replace=True to override"
+            )
+        self._items[key] = value
+        return value
+
+    def unregister(self, name: str) -> None:
+        """Remove an entry if present (no-op otherwise)."""
+        self._items.pop(self.canonical(name), None)
+
+    def get(self, name: str) -> T:
+        try:
+            return self._items[self.canonical(name)]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown {self.kind} {name!r}; known: {self.names()}"
+            ) from None
+
+    def names(self) -> List[str]:
+        return sorted(self._items)
+
+    def __getitem__(self, name: str) -> T:
+        return self.get(name)
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and self.canonical(name) in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __repr__(self) -> str:
+        return f"Registry({self.kind!r}, {self.names()})"

@@ -58,6 +58,14 @@ class FadeStats:
     def unfiltered(self) -> int:
         return self.partial_short + self.unfiltered_full
 
+    def to_dict(self) -> dict:
+        """Plain-JSON representation; the inverse of :meth:`from_dict`."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FadeStats":
+        return cls(**data)
+
 
 class Fade:
     """A programmed FADE instance bound to one monitor's critical metadata."""

@@ -20,11 +20,15 @@ from repro.mem.cache import Cache, CacheConfig
 class HierarchyConfig:
     """Latencies and geometry for the L1/L2/DRAM stack."""
 
-    l1: CacheConfig = CacheConfig(
-        size_bytes=32 * KB, associativity=2, block_bytes=64, latency=2, name="L1"
+    l1: CacheConfig = dataclasses.field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=32 * KB, associativity=2, block_bytes=64, latency=2, name="L1"
+        )
     )
-    l2: CacheConfig = CacheConfig(
-        size_bytes=2 * MB, associativity=16, block_bytes=64, latency=10, name="L2"
+    l2: CacheConfig = dataclasses.field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=2 * MB, associativity=16, block_bytes=64, latency=10, name="L2"
+        )
     )
     dram_latency: int = 90
 

@@ -34,3 +34,15 @@ class BugReport:
         if self.address is not None:
             location += f" addr={self.address:#x}"
         return f"[{self.monitor}] {self.kind.value} at {location}: {self.message}"
+
+    def to_dict(self) -> dict:
+        """Plain-JSON representation; the inverse of :meth:`from_dict`."""
+        data = dataclasses.asdict(self)
+        data["kind"] = self.kind.value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BugReport":
+        fields = dict(data)
+        fields["kind"] = BugKind(fields["kind"])
+        return cls(**fields)

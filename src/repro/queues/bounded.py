@@ -47,6 +47,34 @@ class QueueStats:
             cdf.append((occupancy, 100.0 * cumulative / total))
         return cdf
 
+    def to_dict(self) -> dict:
+        """Plain-JSON representation (histogram keys become strings); the
+        inverse of :meth:`from_dict`."""
+        return {
+            "enqueued": self.enqueued,
+            "dequeued": self.dequeued,
+            "rejected": self.rejected,
+            "max_occupancy": self.max_occupancy,
+            "occupancy_histogram": {
+                str(occupancy): count
+                for occupancy, count in sorted(self.occupancy_histogram.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QueueStats":
+        histogram = Counter(
+            {int(occupancy): count
+             for occupancy, count in data.get("occupancy_histogram", {}).items()}
+        )
+        return cls(
+            enqueued=data.get("enqueued", 0),
+            dequeued=data.get("dequeued", 0),
+            rejected=data.get("rejected", 0),
+            max_occupancy=data.get("max_occupancy", 0),
+            occupancy_histogram=histogram,
+        )
+
 
 class BoundedQueue(Generic[T]):
     """FIFO with optional capacity bound and statistics."""

@@ -4,11 +4,12 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Optional
+from typing import Dict, Mapping, Optional
 
 from repro.common.errors import ConfigurationError
 from repro.cores.base import CoreType
 from repro.fade.md_cache import MetadataCacheConfig
+from repro.mem.cache import CacheConfig
 from repro.mem.hierarchy import HierarchyConfig
 
 
@@ -34,8 +35,10 @@ class SystemConfig:
     event_queue_capacity: Optional[int] = 32
     unfiltered_queue_capacity: int = 16
     fsq_capacity: int = 16
-    md_cache: MetadataCacheConfig = MetadataCacheConfig()
-    hierarchy: HierarchyConfig = HierarchyConfig()
+    md_cache: MetadataCacheConfig = dataclasses.field(
+        default_factory=MetadataCacheConfig
+    )
+    hierarchy: HierarchyConfig = dataclasses.field(default_factory=HierarchyConfig)
     #: Sample queue occupancies every cycle (Figure 3 data; small cost).
     sample_queue_occupancy: bool = True
     #: Unfiltered events closer than this (in filterable events) belong to
@@ -65,3 +68,30 @@ class SystemConfig:
             else "unaccelerated"
         )
         return f"{self.topology.value}/{self.core_type.value}/{fade}"
+
+    # ------------------------------------------------------- serialization
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON representation (enums by value, nested configs as
+        dicts); the inverse of :meth:`from_dict`."""
+        data = dataclasses.asdict(self)
+        data["core_type"] = self.core_type.value
+        data["topology"] = self.topology.value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SystemConfig":
+        fields = dict(data)
+        fields["core_type"] = CoreType(fields["core_type"])
+        fields["topology"] = Topology(fields["topology"])
+        md_cache = fields.get("md_cache")
+        if isinstance(md_cache, Mapping):
+            fields["md_cache"] = MetadataCacheConfig(**md_cache)
+        hierarchy = fields.get("hierarchy")
+        if isinstance(hierarchy, Mapping):
+            hierarchy = dict(hierarchy)
+            for level in ("l1", "l2"):
+                if isinstance(hierarchy.get(level), Mapping):
+                    hierarchy[level] = CacheConfig(**hierarchy[level])
+            fields["hierarchy"] = HierarchyConfig(**hierarchy)
+        return cls(**fields)

@@ -37,6 +37,14 @@ class CycleBreakdown:
             "both_busy": 100.0 * self.both_busy / total,
         }
 
+    def to_dict(self) -> Dict[str, int]:
+        """Plain-JSON representation; the inverse of :meth:`from_dict`."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "CycleBreakdown":
+        return cls(**data)
+
 
 @dataclasses.dataclass
 class RunResult:
@@ -137,3 +145,101 @@ class RunResult:
         if self.reports:
             parts.append(f"{len(self.reports)} bug report(s)")
         return " ".join(parts)
+
+    # ------------------------------------------------------- serialization
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON representation of every field, including the nested
+        FADE/queue statistics; the exact inverse of :meth:`from_dict`."""
+        return {
+            "benchmark": self.benchmark,
+            "monitor": self.monitor,
+            "system": self.system,
+            "cycles": self.cycles,
+            "baseline_cycles": self.baseline_cycles,
+            "instructions": self.instructions,
+            "monitored_events": self.monitored_events,
+            "stack_update_events": self.stack_update_events,
+            "high_level_events": self.high_level_events,
+            "handler_instructions": {
+                handler_class.value: cost
+                for handler_class, cost in sorted(
+                    self.handler_instructions.items(), key=lambda kv: kv[0].value
+                )
+            },
+            "handlers_executed": self.handlers_executed,
+            "fade_stats": (
+                self.fade_stats.to_dict() if self.fade_stats is not None else None
+            ),
+            "event_queue_stats": (
+                self.event_queue_stats.to_dict()
+                if self.event_queue_stats is not None
+                else None
+            ),
+            "work_queue_stats": (
+                self.work_queue_stats.to_dict()
+                if self.work_queue_stats is not None
+                else None
+            ),
+            "unfiltered_distances": {
+                str(distance): count
+                for distance, count in sorted(self.unfiltered_distances.items())
+            },
+            "unfiltered_burst_sizes": list(self.unfiltered_burst_sizes),
+            "cycle_breakdown": self.cycle_breakdown.to_dict(),
+            "app_blocked_cycles": self.app_blocked_cycles,
+            "monitor_busy_cycles": self.monitor_busy_cycles,
+            "fade_drain_cycles": self.fade_drain_cycles,
+            "fade_wait_cycles": self.fade_wait_cycles,
+            "reports": [report.to_dict() for report in self.reports],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunResult":
+        fade_stats = data.get("fade_stats")
+        event_queue_stats = data.get("event_queue_stats")
+        work_queue_stats = data.get("work_queue_stats")
+        return cls(
+            benchmark=data["benchmark"],
+            monitor=data["monitor"],
+            system=data["system"],
+            cycles=data.get("cycles", 0.0),
+            baseline_cycles=data.get("baseline_cycles", 0.0),
+            instructions=data.get("instructions", 0),
+            monitored_events=data.get("monitored_events", 0),
+            stack_update_events=data.get("stack_update_events", 0),
+            high_level_events=data.get("high_level_events", 0),
+            handler_instructions={
+                HandlerClass(value): cost
+                for value, cost in data.get("handler_instructions", {}).items()
+            },
+            handlers_executed=data.get("handlers_executed", 0),
+            fade_stats=(
+                FadeStats.from_dict(fade_stats) if fade_stats is not None else None
+            ),
+            event_queue_stats=(
+                QueueStats.from_dict(event_queue_stats)
+                if event_queue_stats is not None
+                else None
+            ),
+            work_queue_stats=(
+                QueueStats.from_dict(work_queue_stats)
+                if work_queue_stats is not None
+                else None
+            ),
+            unfiltered_distances=Counter(
+                {int(distance): count
+                 for distance, count in data.get("unfiltered_distances", {}).items()}
+            ),
+            unfiltered_burst_sizes=list(data.get("unfiltered_burst_sizes", [])),
+            cycle_breakdown=CycleBreakdown.from_dict(
+                data.get("cycle_breakdown", {})
+            ),
+            app_blocked_cycles=data.get("app_blocked_cycles", 0),
+            monitor_busy_cycles=data.get("monitor_busy_cycles", 0),
+            fade_drain_cycles=data.get("fade_drain_cycles", 0),
+            fade_wait_cycles=data.get("fade_wait_cycles", 0),
+            reports=[
+                BugReport.from_dict(report) for report in data.get("reports", [])
+            ],
+        )

@@ -22,10 +22,12 @@ from repro.workload.heap import Allocation, HeapModel
 from repro.workload.profile import BenchmarkProfile
 from repro.workload.profiles import (
     PARALLEL_BENCHMARKS,
+    PROFILE_REGISTRY,
     SPEC_BENCHMARKS,
     TAINT_BENCHMARKS,
     benchmark_names,
     get_profile,
+    register_profile,
 )
 from repro.workload.stack import CallStackModel, Frame
 from repro.workload.trace import HighLevelEvent, HighLevelKind, Trace, TraceItem
@@ -39,6 +41,7 @@ __all__ = [
     "HighLevelEvent",
     "HighLevelKind",
     "PARALLEL_BENCHMARKS",
+    "PROFILE_REGISTRY",
     "SPEC_BENCHMARKS",
     "TAINT_BENCHMARKS",
     "Trace",
@@ -49,6 +52,7 @@ __all__ = [
     "generate_trace",
     "get_profile",
     "memory_leak_trace",
+    "register_profile",
     "taint_exploit_trace",
     "uninitialized_read_trace",
     "use_after_free_trace",

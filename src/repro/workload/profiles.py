@@ -19,9 +19,9 @@ benchmark lands in the same qualitative regime as its namesake.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List
 
-from repro.common.errors import ConfigurationError
+from repro.common.registry import Registry
 from repro.workload.profile import BenchmarkProfile
 
 #: SPEC CPU2006 integer benchmarks used for AddrCheck/MemCheck/MemLeak.
@@ -48,12 +48,23 @@ PARALLEL_BENCHMARKS: List[str] = [
     "fluidanimate",
 ]
 
-_PROFILES: Dict[str, BenchmarkProfile] = {}
+#: Registry: benchmark name -> profile.  Extensions add entries through
+#: :func:`register_profile` (re-exported as ``repro.api.register_profile``).
+PROFILE_REGISTRY: Registry[BenchmarkProfile] = Registry("benchmark")
 
 
-def _register(profile: BenchmarkProfile) -> BenchmarkProfile:
-    _PROFILES[profile.name] = profile
-    return profile
+def register_profile(
+    profile: BenchmarkProfile, *, replace: bool = False
+) -> BenchmarkProfile:
+    """Make a new benchmark profile resolvable by name everywhere.
+
+    The profile registers under its own ``name``; duplicates raise unless
+    ``replace=True``.
+    """
+    return PROFILE_REGISTRY.register(profile.name, profile, replace=replace)
+
+
+_register = register_profile
 
 
 # --- SPEC-like sequential profiles ------------------------------------------------
@@ -351,14 +362,12 @@ _parallel("fluidanimate", fp_weight=0.12, shared_fraction=0.16,
 
 def get_profile(name: str) -> BenchmarkProfile:
     """Look up a registered benchmark profile by name."""
-    try:
-        return _PROFILES[name]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown benchmark {name!r}; known: {sorted(_PROFILES)}"
-        ) from None
+    return PROFILE_REGISTRY.get(name)
 
 
 def benchmark_names() -> List[str]:
-    """All registered benchmark names (SPEC first, then parallel)."""
-    return SPEC_BENCHMARKS + PARALLEL_BENCHMARKS
+    """All registered benchmark names (SPEC first, then parallel, then any
+    registered extras in sorted order)."""
+    builtin = SPEC_BENCHMARKS + PARALLEL_BENCHMARKS
+    extras = [name for name in PROFILE_REGISTRY.names() if name not in builtin]
+    return builtin + extras

@@ -1,0 +1,255 @@
+"""Tests for the repro.api execution layer: RunSpec, registries, runners,
+caches and ResultSets."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro import quick_run
+from repro.api import (
+    ExperimentSettings,
+    LruCache,
+    ParallelRunner,
+    ResultSet,
+    RunSpec,
+    RunnerCache,
+    SerialRunner,
+    register_monitor,
+    register_profile,
+    spec_grid,
+)
+from repro.common.errors import ConfigurationError
+from repro.cores.base import CoreType
+from repro.monitors import MONITOR_REGISTRY, create_monitor, monitor_names
+from repro.monitors.memleak import MemLeak
+from repro.system.config import SystemConfig
+from repro.workload.profiles import PROFILE_REGISTRY, get_profile
+
+TINY = ExperimentSettings(num_instructions=1500, seed=11)
+
+
+class TestRunSpec:
+    def test_equality_and_hash(self):
+        a = RunSpec("astar", "memleak", SystemConfig(), TINY)
+        b = RunSpec("astar", "memleak", SystemConfig(), TINY)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_inequality_on_any_axis(self):
+        base = RunSpec("astar", "memleak", SystemConfig(), TINY)
+        assert base != base.replace(benchmark="mcf")
+        assert base != base.replace(monitor="addrcheck")
+        assert base != base.replace(config=SystemConfig(fade_enabled=False))
+        assert base != base.replace(settings=TINY.scaled(2.0))
+
+    def test_json_round_trip(self):
+        spec = RunSpec(
+            "omnetpp",
+            "taintcheck",
+            SystemConfig(
+                core_type=CoreType.OOO2,
+                fade_enabled=True,
+                non_blocking=False,
+                event_queue_capacity=None,
+                fsq_capacity=8,
+            ),
+            ExperimentSettings(num_instructions=5000, seed=3, warmup_fraction=0.25),
+        )
+        text = spec.to_json()
+        restored = RunSpec.from_json(text)
+        assert restored == spec
+        assert hash(restored) == hash(spec)
+        # The wire format is plain JSON (enums by value, nested dicts).
+        assert json.loads(text)["config"]["core_type"] == "2-way OoO"
+
+    def test_dict_round_trip_default_config(self):
+        spec = RunSpec("astar", "memleak")
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+
+    def test_spec_grid_shape_and_order(self):
+        grid = spec_grid(
+            ["astar", "mcf"],
+            ["memleak", "addrcheck"],
+            [SystemConfig(), SystemConfig(fade_enabled=False)],
+            TINY,
+        )
+        assert len(grid) == 8
+        # Monitor-major, then benchmark, then config.
+        assert grid[0].monitor == "memleak" and grid[0].benchmark == "astar"
+        assert grid[1].config.fade_enabled is False
+        assert grid[4].monitor == "addrcheck"
+        assert len(set(grid)) == 8  # All distinct, hashable.
+
+
+class TestSystemConfigDefaults:
+    def test_nested_defaults_are_not_shared(self):
+        first = SystemConfig()
+        second = SystemConfig()
+        assert first.md_cache == second.md_cache
+        assert first.md_cache is not second.md_cache
+        assert first.hierarchy is not second.hierarchy
+
+    def test_dict_round_trip(self):
+        config = SystemConfig(core_type=CoreType.INORDER, fade_enabled=False)
+        assert SystemConfig.from_dict(config.to_dict()) == config
+
+
+class TestRegistries:
+    def test_register_monitor_runnable_by_name(self):
+        class TinyLeak(MemLeak):
+            pass
+
+        register_monitor("tinyleak", TinyLeak)
+        try:
+            assert "tinyleak" in monitor_names()
+            assert isinstance(create_monitor("TinyLeak"), TinyLeak)
+            result = quick_run(
+                benchmark="astar", monitor="tinyleak", num_instructions=1500
+            )
+            assert result.monitored_events > 0
+        finally:
+            MONITOR_REGISTRY.unregister("tinyleak")
+
+    def test_duplicate_monitor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_monitor("memleak", MemLeak)
+        register_monitor("memleak", MemLeak, replace=True)  # Explicit override.
+
+    def test_unknown_monitor_message_lists_known(self):
+        with pytest.raises(ConfigurationError, match="unknown monitor"):
+            create_monitor("nonesuch")
+
+    def test_register_profile_and_duplicate_rejection(self):
+        base = get_profile("astar")
+        custom = dataclasses.replace(base, name="astar_custom")
+        register_profile(custom)
+        try:
+            assert get_profile("astar_custom") is custom
+            with pytest.raises(ConfigurationError):
+                register_profile(custom)
+            result = quick_run(
+                benchmark="astar_custom", monitor="memleak", num_instructions=1500
+            )
+            assert result.instructions > 0
+        finally:
+            PROFILE_REGISTRY.unregister("astar_custom")
+
+
+class TestLruCache:
+    def test_bounded_eviction_is_lru(self):
+        cache = LruCache(max_entries=2)
+        cache.get_or_create("a", lambda: 1)
+        cache.get_or_create("b", lambda: 2)
+        cache.get_or_create("a", lambda: -1)  # Hit: refreshes "a".
+        cache.get_or_create("c", lambda: 3)  # Evicts "b" (least recent).
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert len(cache) == 2
+        assert cache.hits == 1 and cache.misses == 3
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            LruCache(0)
+
+    def test_runner_cache_reuses_traces(self):
+        cache = RunnerCache()
+        first = cache.trace("astar", TINY)
+        second = cache.trace("astar", TINY)
+        assert first is second
+        assert cache.stats()["trace_hits"] == 1
+
+    def test_profile_replacement_invalidates_cached_traces(self):
+        base = get_profile("astar")
+        cache = RunnerCache()
+        register_profile(dataclasses.replace(base, name="mutant"))
+        try:
+            before = cache.trace("mutant", TINY)
+            register_profile(
+                dataclasses.replace(base, name="mutant", locality=0.5),
+                replace=True,
+            )
+            after = cache.trace("mutant", TINY)
+            assert after is not before  # Keyed by profile value, not name.
+        finally:
+            PROFILE_REGISTRY.unregister("mutant")
+
+
+class TestRunners:
+    GRID = spec_grid(
+        ["astar", "mcf"],
+        ["memleak"],
+        [SystemConfig(), SystemConfig(fade_enabled=False)],
+        TINY,
+    )
+
+    def test_serial_runner_preserves_spec_order(self):
+        results = SerialRunner().run(self.GRID)
+        assert results.specs == self.GRID
+
+    def test_serial_and_parallel_are_deterministic(self):
+        serial = SerialRunner().run(self.GRID)
+        parallel = ParallelRunner(jobs=2).run(self.GRID)
+        assert serial == parallel  # Same specs, bit-identical RunResults.
+
+    def test_parallel_falls_back_serially_for_single_spec(self):
+        runner = ParallelRunner(jobs=4)
+        results = runner.run(self.GRID[:1])
+        assert len(results) == 1
+        assert results[0].result == SerialRunner().run(self.GRID[:1])[0].result
+
+    def test_run_one_matches_run(self):
+        spec = self.GRID[0]
+        runner = SerialRunner()
+        assert runner.run_one(spec) == runner.run([spec]).results[0]
+
+
+class TestResultSet:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return SerialRunner().run(TestRunners.GRID)
+
+    def test_filter_by_spec_and_config_fields(self, results):
+        astar = results.filter(benchmark="astar")
+        assert len(astar) == 2
+        fade = results.filter(benchmark="astar", fade_enabled=True)
+        assert len(fade) == 1
+        assert fade.results[0].fade_stats is not None
+
+    def test_group_by_and_geomean(self, results):
+        groups = results.group_by("benchmark")
+        assert list(groups) == ["astar", "mcf"]
+        for group in groups.values():
+            assert len(group) == 2
+        fade_gmean = results.filter(fade_enabled=True).geomean("slowdown")
+        base_gmean = results.filter(fade_enabled=False).geomean("slowdown")
+        assert 0 < fade_gmean < base_gmean  # FADE accelerates monitoring.
+
+    def test_unknown_group_key_raises(self, results):
+        with pytest.raises(AttributeError):
+            results.group_by("nonesuch")
+
+    def test_find_by_spec_value(self, results):
+        spec = TestRunners.GRID[0]
+        copy = RunSpec.from_dict(spec.to_dict())
+        assert results.find(copy) == results.results[0]
+        assert results.find(spec.replace(benchmark="bzip")) is None
+
+    def test_json_save_load_round_trip(self, results, tmp_path):
+        path = results.save(tmp_path / "results.json")
+        reloaded = ResultSet.load(path)
+        assert reloaded == results
+        # Aggregations survive the round trip exactly.
+        assert reloaded.geomean("slowdown") == results.geomean("slowdown")
+
+    def test_unsupported_schema_version_rejected(self, results):
+        data = results.to_dict()
+        data["schema_version"] = 99
+        with pytest.raises(ValueError, match="schema_version"):
+            ResultSet.from_dict(data)
+
+    def test_mean_and_values(self, results):
+        values = results.values("slowdown")
+        assert len(values) == len(results)
+        assert results.mean("slowdown") == pytest.approx(sum(values) / len(values))
+        assert ResultSet().mean() == 0.0 and ResultSet().geomean() == 0.0

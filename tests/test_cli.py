@@ -1,8 +1,13 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
+from repro.api import ResultSet, register_monitor
 from repro.cli import build_parser, main
+from repro.monitors import MONITOR_REGISTRY
+from repro.monitors.addrcheck import AddrCheck
 
 
 class TestParser:
@@ -61,3 +66,64 @@ class TestCommands:
         assert "filtering %" in out
         for monitor in ("addrcheck", "memleak"):
             assert monitor in out
+
+
+class TestExecutionFlags:
+    def test_run_out_writes_loadable_resultset(self, capsys, tmp_path):
+        out_path = tmp_path / "run.json"
+        assert main(["run", "-n", "2000", "--out", str(out_path)]) == 0
+        assert "written to" in capsys.readouterr().out
+        results = ResultSet.load(out_path)
+        assert len(results) == 1
+        record = results[0]
+        assert record.spec.benchmark == "astar"
+        assert record.spec.settings.num_instructions == 2000
+        assert record.result.slowdown > 0
+        # The file is plain JSON, inspectable by other tools.
+        assert json.loads(out_path.read_text())["records"]
+
+    def test_run_rejects_jobs_flag(self, capsys):
+        # `run` is always a single spec; --jobs only exists on grid commands.
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--jobs", "2"])
+        capsys.readouterr()
+
+    def test_table2_with_jobs_matches_serial(self, capsys, tmp_path):
+        serial_path = tmp_path / "serial.json"
+        parallel_path = tmp_path / "parallel.json"
+        assert main(["table2", "-n", "1500", "--out", str(serial_path)]) == 0
+        assert main(
+            ["table2", "-n", "1500", "--jobs", "2", "--out", str(parallel_path)]
+        ) == 0
+        capsys.readouterr()
+        assert ResultSet.load(serial_path) == ResultSet.load(parallel_path)
+
+    def test_out_failure_reports_cleanly(self, capsys):
+        assert main(
+            ["run", "-n", "1500", "--out", "/proc/nope/results.json"]
+        ) == 1
+        captured = capsys.readouterr()
+        assert "could not write" in captured.err
+
+    def test_registered_monitor_runnable_through_cli(self, capsys):
+        class CliCheck(AddrCheck):
+            pass
+
+        register_monitor("clicheck", CliCheck)
+        try:
+            assert main(
+                ["run", "-n", "2000", "--monitor", "clicheck",
+                 "--benchmark", "mcf"]
+            ) == 0
+            out = capsys.readouterr().out
+            assert "slowdown" in out
+        finally:
+            MONITOR_REGISTRY.unregister("clicheck")
+
+    def test_registered_monitor_appears_in_list(self, capsys):
+        register_monitor("listcheck", AddrCheck, replace=True)
+        try:
+            assert main(["list"]) == 0
+            assert "listcheck" in capsys.readouterr().out
+        finally:
+            MONITOR_REGISTRY.unregister("listcheck")

@@ -1,4 +1,8 @@
-"""Tests for RunResult derived metrics and FadeStats accounting."""
+"""Tests for RunResult derived metrics, FadeStats accounting, and the
+JSON round-trip of a full result."""
+
+import json
+from collections import Counter
 
 import pytest
 
@@ -6,6 +10,8 @@ from repro.fade.accelerator import Fade, FadeConfig, FadeStats
 from repro.metadata import ShadowMemory, ShadowRegisters
 from repro.monitors import create_monitor
 from repro.monitors.base import HandlerClass
+from repro.monitors.reports import BugKind, BugReport
+from repro.queues.bounded import QueueStats
 from repro.system.results import CycleBreakdown, RunResult
 
 
@@ -75,6 +81,90 @@ class TestRunResult:
     def test_summary_mentions_key_numbers(self):
         text = self.make_result().summary()
         assert "2.00x" in text and "astar" in text
+
+
+class TestRunResultSerialization:
+    def make_full_result(self) -> RunResult:
+        """A result exercising every serialized field, including the nested
+        FADE statistics, both queue stats, distances and bug reports."""
+        return RunResult(
+            benchmark="omnetpp",
+            monitor="MemLeak",
+            system="single-core/4-way OoO/non-blocking FADE",
+            cycles=4321.5,
+            baseline_cycles=2000.25,
+            instructions=1800,
+            monitored_events=700,
+            stack_update_events=40,
+            high_level_events=12,
+            handler_instructions={
+                HandlerClass.CLEAN_CHECK: 120.0,
+                HandlerClass.REDUNDANT_UPDATE: 60.5,
+                HandlerClass.COMPLEX: 30.0,
+            },
+            handlers_executed=95,
+            fade_stats=FadeStats(
+                instruction_events=700, filtered=600, partial_short=20,
+                unfiltered_full=80, stack_updates=40, tlb_misses=3,
+                md_updates_committed=77, busy_cycles=800, suu_cycles=90,
+            ),
+            event_queue_stats=QueueStats(
+                enqueued=740, dequeued=740, rejected=5, max_occupancy=17,
+                occupancy_histogram=Counter({0: 900, 3: 50, 17: 2}),
+            ),
+            work_queue_stats=QueueStats(enqueued=100, dequeued=100),
+            unfiltered_distances=Counter({1: 30, 16: 7, 250: 1}),
+            unfiltered_burst_sizes=[1, 4, 9],
+            cycle_breakdown=CycleBreakdown(app_idle=10, monitor_idle=70, both_busy=20),
+            app_blocked_cycles=11,
+            monitor_busy_cycles=222,
+            fade_drain_cycles=33,
+            fade_wait_cycles=4,
+            reports=[
+                BugReport(
+                    monitor="MemLeak", kind=BugKind.MEMORY_LEAK, pc=0x400,
+                    address=0x8000_0000, thread=1, message="unreachable allocation",
+                )
+            ],
+        )
+
+    def test_round_trip_equality(self):
+        original = self.make_full_result()
+        restored = RunResult.from_dict(original.to_dict())
+        assert restored == original
+        # Derived metrics survive too.
+        assert restored.slowdown == original.slowdown
+        assert restored.filtering_ratio == original.filtering_ratio
+
+    def test_round_trip_through_json_text(self):
+        original = self.make_full_result()
+        text = json.dumps(original.to_dict(), sort_keys=True)
+        restored = RunResult.from_dict(json.loads(text))
+        assert restored == original
+        # Counter keys and enum keys come back with their native types.
+        assert all(isinstance(k, int) for k in restored.unfiltered_distances)
+        assert all(
+            isinstance(k, HandlerClass) for k in restored.handler_instructions
+        )
+        assert restored.reports[0].kind is BugKind.MEMORY_LEAK
+
+    def test_round_trip_of_minimal_result(self):
+        original = RunResult(benchmark="astar", monitor="AddrCheck", system="t")
+        restored = RunResult.from_dict(
+            json.loads(json.dumps(original.to_dict()))
+        )
+        assert restored == original
+        assert restored.fade_stats is None
+        assert restored.event_queue_stats is None
+
+    def test_round_trip_of_simulated_result(self):
+        from repro import quick_run
+
+        original = quick_run(
+            benchmark="astar", monitor="memleak", num_instructions=2000
+        )
+        restored = RunResult.from_dict(json.loads(json.dumps(original.to_dict())))
+        assert restored == original
 
 
 class TestFadeAccelerator:
