@@ -1,0 +1,169 @@
+"""Perf-core regression bench: event-driven engine versus the naive stepper.
+
+Runs the Figure 9 grid (every monitor over its suite, unaccelerated and
+FADE-accelerated) once per engine on a shared pre-warmed runner cache,
+checks that the two engines produce bit-identical results, and writes
+``BENCH_perf.json`` (wall seconds, cells/sec, simulated cycles/sec, and the
+event-vs-naive speedup) so the simulator core's performance trajectory is
+recorded per commit.
+
+Runnable both as a script (the CI perf smoke job does
+``PYTHONPATH=src python benchmarks/bench_perf_core.py``; exits non-zero if
+the engines disagree or the event engine is slower than naive) and under
+pytest (``pytest benchmarks/bench_perf_core.py``).
+
+Environment knobs:
+
+* ``REPRO_BENCH_PERF_INSTRUCTIONS`` — trace length per cell (default: the
+  shared bench scale; CI's smoke job uses a tiny grid).
+* ``REPRO_BENCH_PERF_ROUNDS`` — timing rounds per engine; the best round
+  counts (default 2, damping scheduler noise).
+* ``REPRO_BENCH_PERF_MIN_SPEEDUP`` — fail below this event/naive wall-clock
+  ratio (default 1.0: the event engine must never be slower).
+* ``REPRO_BENCH_PROFILE`` — cProfile the timed region (top-20 cumulative).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pathlib
+import sys
+import time
+
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(_ROOT) not in sys.path:  # Script mode: make `benchmarks.common` importable.
+    sys.path.insert(0, str(_ROOT))
+
+from benchmarks.common import BENCH_SETTINGS, maybe_profile, record
+from repro.analysis import ExperimentSettings
+from repro.analysis.experiments import benchmarks_for
+from repro.api import RunSpec, SerialRunner
+from repro.cores.base import CoreType
+from repro.monitors import MONITOR_NAMES
+from repro.system import SystemConfig
+
+BENCH_JSON = _ROOT / "BENCH_perf.json"
+
+
+def _fig9_specs(engine: str, settings: ExperimentSettings) -> list:
+    configs = (
+        SystemConfig(fade_enabled=False, engine=engine),
+        SystemConfig(fade_enabled=True, non_blocking=True, engine=engine),
+    )
+    return [
+        RunSpec(benchmark, monitor, config, settings)
+        for monitor in MONITOR_NAMES
+        for benchmark in benchmarks_for(monitor)
+        for config in configs
+    ]
+
+
+def _inorder_specs(engine: str, settings: ExperimentSettings) -> list:
+    """Monitor-bound companion grid: unaccelerated in-order cells, where
+    handler grinding dominates and cycle-skipping pays the most."""
+    config = SystemConfig(
+        core_type=CoreType.INORDER, fade_enabled=False, engine=engine
+    )
+    return [
+        RunSpec(benchmark, monitor, config, settings)
+        for monitor in MONITOR_NAMES
+        for benchmark in benchmarks_for(monitor)
+    ]
+
+
+def run_perf_core(num_instructions: int = 0, rounds: int = 0) -> dict:
+    """Time the fig9 grid under both engines; returns (and persists) the
+    ``BENCH_perf.json`` payload."""
+    if num_instructions <= 0:
+        raw = os.environ.get("REPRO_BENCH_PERF_INSTRUCTIONS", "")
+        num_instructions = int(raw) if raw else 0
+        if num_instructions <= 0:
+            num_instructions = BENCH_SETTINGS.num_instructions
+    if rounds <= 0:
+        rounds = int(os.environ.get("REPRO_BENCH_PERF_ROUNDS", "2"))
+    settings = dataclasses.replace(BENCH_SETTINGS, num_instructions=num_instructions)
+    runner = SerialRunner()
+    # Pre-warm traces, schedules and plans so both engines time simulation,
+    # not workload synthesis.
+    for spec in _fig9_specs("event", settings) + _inorder_specs("event", settings):
+        runner.cache.trace(spec.benchmark, settings)
+        runner.cache.schedule(spec.benchmark, settings, spec.config.core_type)
+        runner.cache.plan(spec.benchmark, settings, spec.monitor)
+
+    def measure(make_specs, label):
+        engines = {}
+        outputs = {}
+        for engine in ("naive", "event"):
+            specs = make_specs(engine, settings)
+            best = float("inf")
+            results = None
+            with maybe_profile(f"perf_core[{label}/{engine}]"):
+                for _ in range(max(1, rounds)):
+                    start = time.perf_counter()
+                    results = runner.run(specs)
+                    best = min(best, time.perf_counter() - start)
+            cycles = sum(result.cycles for result in results.results)
+            engines[engine] = {
+                "seconds": best,
+                "cells": len(specs),
+                "cells_per_sec": len(specs) / best,
+                "cycles_simulated": cycles,
+                "cycles_per_sec": cycles / best,
+            }
+            outputs[engine] = [result.to_dict() for result in results.results]
+        return {
+            "engines": engines,
+            "speedup_event_vs_naive": (
+                engines["naive"]["seconds"] / engines["event"]["seconds"]
+            ),
+            "bit_identical": outputs["naive"] == outputs["event"],
+        }
+
+    fig9 = measure(_fig9_specs, "fig9")
+    inorder = measure(_inorder_specs, "inorder-unaccel")
+    payload = {
+        "bench": "perf_core",
+        "grid": "fig9",
+        "num_instructions": settings.num_instructions,
+        "rounds": rounds,
+        "engines": fig9["engines"],
+        "speedup_event_vs_naive": fig9["speedup_event_vs_naive"],
+        "bit_identical": fig9["bit_identical"] and inorder["bit_identical"],
+        "inorder_unaccelerated": inorder,
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def test_perf_core_event_engine():
+    """Pytest entry: engines agree bit-for-bit and event is not slower."""
+    raw = os.environ.get("REPRO_BENCH_PERF_INSTRUCTIONS", "")
+    payload = run_perf_core(num_instructions=int(raw) if raw else 3000)
+    assert payload["bit_identical"], "engines disagree on the fig9 grid"
+    minimum = float(os.environ.get("REPRO_BENCH_PERF_MIN_SPEEDUP", "1.0"))
+    assert payload["speedup_event_vs_naive"] >= minimum
+
+
+def main() -> int:
+    payload = run_perf_core()
+    text = json.dumps(payload, indent=2)
+    record("bench_perf_core", text)
+    if not payload["bit_identical"]:
+        print("FAIL: event and naive engines disagree", file=sys.stderr)
+        return 1
+    minimum = float(os.environ.get("REPRO_BENCH_PERF_MIN_SPEEDUP", "1.0"))
+    speedup = payload["speedup_event_vs_naive"]
+    if speedup < minimum:
+        print(
+            f"FAIL: event engine speedup {speedup:.2f}x below minimum {minimum:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"[BENCH_perf.json written: event engine {speedup:.2f}x vs naive]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

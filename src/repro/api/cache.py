@@ -10,10 +10,13 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Callable, Dict, Generic, Hashable, List, TypeVar
+from typing import Callable, Dict, Generic, Hashable, List, Optional, TypeVar
 
 from repro.cores.base import CoreType
 from repro.cores.retire import RetireModel
+from repro.mem.hierarchy import HierarchyConfig
+from repro.monitors import MONITOR_REGISTRY, create_monitor
+from repro.system.simulator import DeliveryPlan, build_plan
 from repro.workload.generator import generate_trace
 from repro.workload.profiles import get_profile
 from repro.workload.trace import Trace
@@ -78,9 +81,15 @@ class RunnerCache:
     long-lived CLI session's footprint flat.
     """
 
-    def __init__(self, max_traces: int = 64, max_schedules: int = 128) -> None:
+    def __init__(
+        self,
+        max_traces: int = 64,
+        max_schedules: int = 128,
+        max_plans: int = 64,
+    ) -> None:
         self._traces: LruCache = LruCache(max_traces)
         self._schedules: LruCache = LruCache(max_schedules)
+        self._plans: LruCache = LruCache(max_plans)
 
     def trace(self, benchmark: str, settings: ExperimentSettings) -> Trace:
         """The deterministic synthetic trace for one (benchmark, settings).
@@ -103,24 +112,55 @@ class RunnerCache:
         benchmark: str,
         settings: ExperimentSettings,
         core: CoreType = CoreType.OOO4,
+        hierarchy: Optional[HierarchyConfig] = None,
     ) -> List[float]:
-        """The unobstructed retirement schedule for one (benchmark, core)."""
+        """The unobstructed retirement schedule for one (benchmark, core,
+        hierarchy) cell — grid cells differing only in monitor or FADE
+        configuration share it."""
         profile = get_profile(benchmark)
-        key = (profile, settings.num_instructions, settings.seed, core)
+        if hierarchy is None:
+            hierarchy = HierarchyConfig()
+        key = (profile, settings.num_instructions, settings.seed, core, hierarchy)
 
         def build() -> List[float]:
             model = RetireModel(
                 core_type=core,
                 bubble_prob=profile.bubble_prob,
                 bubble_mean=profile.bubble_mean,
+                hierarchy_config=hierarchy,
             )
             return model.schedule(self.trace(benchmark, settings))
 
         return self._schedules.get_or_create(key, build)
 
+    def plan(
+        self,
+        benchmark: str,
+        settings: ExperimentSettings,
+        monitor_name: str,
+    ) -> DeliveryPlan:
+        """The delivery plan (per-trace-item work classification) for one
+        (benchmark, monitor) pair.  Plans hold only immutable event payloads,
+        so cells differing in system configuration share one plan.
+
+        The key includes the monitor's registered *factory* (not just its
+        name), so re-registering a name with ``replace=True`` never serves a
+        plan classified by the superseded monitor.
+        """
+        profile = get_profile(benchmark)
+        factory = MONITOR_REGISTRY.get(monitor_name)
+        key = (profile, settings.num_instructions, settings.seed, factory)
+        return self._plans.get_or_create(
+            key,
+            lambda: build_plan(
+                self.trace(benchmark, settings), create_monitor(monitor_name)
+            ),
+        )
+
     def clear(self) -> None:
         self._traces.clear()
         self._schedules.clear()
+        self._plans.clear()
 
     def stats(self) -> Dict[str, int]:
         return {
@@ -130,4 +170,7 @@ class RunnerCache:
             "schedules": len(self._schedules),
             "schedule_hits": self._schedules.hits,
             "schedule_misses": self._schedules.misses,
+            "plans": len(self._plans),
+            "plan_hits": self._plans.hits,
+            "plan_misses": self._plans.misses,
         }

@@ -27,9 +27,14 @@ from repro.api.spec import RunSpec
 
 
 def execute_spec(spec: RunSpec, cache: Optional[RunnerCache] = None) -> RunResult:
-    """Simulate one cell with the standard warmup methodology."""
+    """Simulate one cell with the standard warmup methodology.
+
+    The trace, retirement schedule and delivery plan all come from the
+    runner's cache, so cells of a grid that share a benchmark (and core or
+    monitor) only pay for them once.
+    """
     if cache is None:
-        cache = RunnerCache(max_traces=1, max_schedules=1)
+        cache = RunnerCache(max_traces=1, max_schedules=1, max_plans=1)
     trace = cache.trace(spec.benchmark, spec.settings)
     warmup = int(len(trace.items) * spec.settings.warmup_fraction)
     return MonitoringSimulation(
@@ -38,6 +43,10 @@ def execute_spec(spec: RunSpec, cache: Optional[RunnerCache] = None) -> RunResul
         spec.config,
         get_profile(spec.benchmark),
         warmup_items=warmup,
+        schedule=cache.schedule(
+            spec.benchmark, spec.settings, spec.config.core_type, spec.config.hierarchy
+        ),
+        plan=cache.plan(spec.benchmark, spec.settings, spec.monitor),
     ).run()
 
 
@@ -78,6 +87,12 @@ def _worker_run(spec: RunSpec) -> RunResult:
     return execute_spec(spec, _WORKER_CACHE)
 
 
+def _worker_run_chunk(specs: List[RunSpec]) -> List[RunResult]:
+    """Execute a batch of specs in one pool task: chunking amortises the
+    per-task pickling/submission overhead across the whole batch."""
+    return [_worker_run(spec) for spec in specs]
+
+
 class ParallelRunner(Runner):
     """Fans a grid out over a process pool.
 
@@ -112,14 +127,34 @@ class ParallelRunner(Runner):
             context = multiprocessing.get_context("fork")
         except ValueError:
             context = None
+        # Dispatch explicit benchmark-grouped chunks: each pool task carries
+        # a batch of specs (amortising pickling and task submission), and
+        # grouping by (benchmark, settings) maximises trace/schedule/plan
+        # cache hits inside each worker.  Results are re-ordered back to
+        # spec order, so the ResultSet is identical to serial execution.
+        order = sorted(
+            range(len(spec_list)),
+            key=lambda i: (
+                spec_list[i].benchmark,
+                spec_list[i].settings.num_instructions,
+                spec_list[i].settings.seed,
+                spec_list[i].monitor,
+            ),
+        )
+        chunk = max(1, len(spec_list) // (workers * 4))
+        index_chunks = [
+            order[start:start + chunk] for start in range(0, len(order), chunk)
+        ]
+        spec_chunks = [
+            [spec_list[i] for i in indices] for indices in index_chunks
+        ]
         try:
             with ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_worker_init,
                 mp_context=context,
             ) as pool:
-                chunk = max(1, len(spec_list) // (workers * 4))
-                results = list(pool.map(_worker_run, spec_list, chunksize=chunk))
+                batches = list(pool.map(_worker_run_chunk, spec_chunks))
         except (OSError, PermissionError, BrokenProcessPool, ConfigurationError) as error:
             warnings.warn(
                 f"process pool unavailable ({error}); running serially",
@@ -127,6 +162,10 @@ class ParallelRunner(Runner):
                 stacklevel=2,
             )
             return SerialRunner(self.cache).run(spec_list)
+        results: List[Optional[RunResult]] = [None] * len(spec_list)
+        for indices, batch in zip(index_chunks, batches):
+            for index, result in zip(indices, batch):
+                results[index] = result
         return ResultSet(
             RunRecord(spec, result) for spec, result in zip(spec_list, results)
         )

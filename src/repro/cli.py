@@ -11,6 +11,8 @@ Commands:
 Experiment commands accept ``--jobs N`` (fan the grid out over N worker
 processes) and ``--out results.json`` (persist the raw
 :class:`~repro.api.ResultSet`; ``repro.api.ResultSet.load`` restores it).
+``repro --profile-sim <command> ...`` wraps the command in ``cProfile`` and
+prints the top-20 cumulative entries to stderr.
 Monitors and benchmarks registered through :mod:`repro.api` are runnable by
 name like the built-in ones.
 """
@@ -68,6 +70,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="FADE (HPCA 2014) reproduction toolkit",
+    )
+    parser.add_argument(
+        "--profile-sim", action="store_true",
+        help="run the command under cProfile and print the top-20 "
+             "cumulative entries (place before the subcommand)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -207,7 +214,21 @@ _COMMANDS = {
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    command = _COMMANDS[args.command]
+    if args.profile_sim:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            status = command(args)
+        finally:
+            profiler.disable()
+            stats = pstats.Stats(profiler, stream=sys.stderr)
+            stats.sort_stats("cumulative").print_stats(20)
+        return status
+    return command(args)
 
 
 if __name__ == "__main__":

@@ -79,40 +79,57 @@ class RetireModel:
         last_retire = 0.0
         instruction_index = 0
 
+        # Hot loop: one iteration per trace item, so the per-item lookups
+        # (bound methods, enum members, the latency table) are hoisted.
+        append = times.append
+        load_latency = hierarchy.load_latency
+        store_latency = hierarchy.store_latency
+        exec_latency = _EXEC_LATENCY
+        load_op = OpClass.LOAD
+        store_op = OpClass.STORE
+        bubble_prob = self.bubble_prob
+        bubble_mean = self.bubble_mean
+        has_bubbles = bubble_prob > 0.0
+
         for item in trace:
             if not isinstance(item, Instruction):
                 # High-level events ride along with the previous instruction.
-                times.append(last_retire)
+                append(last_retire)
                 continue
 
             dispatch = last_dispatch + interval
             # ROB space: the (i - rob)-th instruction must have retired.
             if instruction_index >= rob:
-                dispatch = max(dispatch, retire_ring[instruction_index % rob])
-            dispatch += _bubble_gap(
-                instruction_index, seed, self.bubble_prob, self.bubble_mean
-            )
+                ring_slot = retire_ring[instruction_index % rob]
+                if ring_slot > dispatch:
+                    dispatch = ring_slot
+            if has_bubbles:
+                dispatch += _bubble_gap(
+                    instruction_index, seed, bubble_prob, bubble_mean
+                )
 
-            if item.op_class is OpClass.LOAD:
-                latency = float(hierarchy.load_latency(item.memory_address))
+            op_class = item.op_class
+            if op_class is load_op:
+                latency = float(load_latency(item.memory_address))
             else:
-                latency = float(_EXEC_LATENCY[item.op_class])
-                if item.op_class is OpClass.STORE:
-                    hierarchy.store_latency(item.memory_address)
+                latency = float(exec_latency[op_class])
+                if op_class is store_op:
+                    store_latency(item.memory_address)
 
             # Dependent instructions extend the program's critical path: a
             # monotone chain of completions (value -> address -> value ...),
             # which is what serialises pointer-chasing codes regardless of
             # how many independent instructions the OoO core overlaps.
-            start = dispatch
             if item.depends_on_prev:
-                start = max(start, chain_complete)
-            complete = start + latency
-            if item.depends_on_prev:
+                start = dispatch if dispatch > chain_complete else chain_complete
+                complete = start + latency
                 chain_complete = complete
-            retire = max(complete, last_retire + interval)
+            else:
+                complete = dispatch + latency
+            floor = last_retire + interval
+            retire = complete if complete > floor else floor
 
-            times.append(retire)
+            append(retire)
             retire_ring[instruction_index % rob] = retire
             last_dispatch = dispatch
             last_retire = retire

@@ -47,6 +47,12 @@ class FadeStats:
     busy_cycles: int = 0
     suu_cycles: int = 0
 
+    def reset(self) -> None:
+        """Zero every counter in place (the simulator's warmup reset reuses
+        the instance instead of re-instantiating)."""
+        for field in dataclasses.fields(self):
+            setattr(self, field.name, field.default)
+
     @property
     def filtering_ratio(self) -> float:
         """Fraction of instruction-event handlers elided (Table 2 metric)."""

@@ -183,11 +183,13 @@ class EventTable:
     def __init__(self, size: int = EVENT_TABLE_SIZE) -> None:
         self.size = size
         self._entries: Dict[int, EventTableEntry] = {}
+        self._chain_cache: Dict[int, Tuple[Tuple[int, EventTableEntry], ...]] = {}
 
     def program(self, index: int, entry: EventTableEntry) -> None:
         if not 0 <= index < self.size:
             raise ProgrammingError(f"event table index {index} out of range")
         self._entries[index] = entry
+        self._chain_cache.clear()  # Chains may now resolve differently.
 
     def lookup(self, index: int) -> Optional[EventTableEntry]:
         """Entry for an event ID; None means the event has no rules
@@ -199,9 +201,15 @@ class EventTable:
     def chain(self, index: int) -> Tuple[Tuple[int, EventTableEntry], ...]:
         """The full multi-shot chain starting at ``index``.
 
+        The result is memoized (and invalidated on :meth:`program`): the
+        pipeline walks the chain once per filtered event, on the hot path.
+
         Raises:
             ProgrammingError: on a dangling next_entry or a chain cycle.
         """
+        cached = self._chain_cache.get(index)
+        if cached is not None:
+            return cached
         chain = []
         seen = set()
         current: Optional[int] = index
@@ -214,7 +222,9 @@ class EventTable:
                 raise ProgrammingError(f"dangling next_entry -> {current}")
             chain.append((current, entry))
             current = entry.next_entry if entry.ms else None
-        return tuple(chain)
+        result = tuple(chain)
+        self._chain_cache[index] = result
+        return result
 
     def programmed_indices(self) -> Tuple[int, ...]:
         return tuple(sorted(self._entries))

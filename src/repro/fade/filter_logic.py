@@ -65,18 +65,35 @@ class FilterLogic:
     # ------------------------------------------------------------------ checks
 
     def _clean_check(self, entry: EventTableEntry, metadata: OperandMetadata) -> bool:
-        for rule, value in (
-            (entry.s1, metadata.s1),
-            (entry.s2, metadata.s2),
-            (entry.d, metadata.d),
-        ):
-            if not rule.valid:
-                continue
+        # Unrolled over the three operands: this comparator runs once per
+        # chain entry per event, on the filtering hot path.
+        read_invariant = self.inv_rf.read
+        rule = entry.s1
+        if rule.valid:
             self.comparisons += 1
+            value = metadata.s1
             if value is None:
                 return False
-            invariant = self.inv_rf.read(rule.inv_id)
-            if (value & rule.mask) != (invariant & rule.mask):
+            mask = rule.mask
+            if (value & mask) != (read_invariant(rule.inv_id) & mask):
+                return False
+        rule = entry.s2
+        if rule.valid:
+            self.comparisons += 1
+            value = metadata.s2
+            if value is None:
+                return False
+            mask = rule.mask
+            if (value & mask) != (read_invariant(rule.inv_id) & mask):
+                return False
+        rule = entry.d
+        if rule.valid:
+            self.comparisons += 1
+            value = metadata.d
+            if value is None:
+                return False
+            mask = rule.mask
+            if (value & mask) != (read_invariant(rule.inv_id) & mask):
                 return False
         return True
 

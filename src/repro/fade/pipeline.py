@@ -105,11 +105,18 @@ class FilteringPipeline:
         ``app_addr`` (one memory operand per instruction in the modelled
         ISA), so at most one MD-cache access is made per event.
         """
+        # Hot path (once per chain entry per event): the operand rules are
+        # unpacked into locals and evaluated without inner closures.
+        s1_rule = entry.s1
+        s2_rule = entry.s2
+        d_rule = entry.d
         cycles = 0
         tlb_miss = False
         memory_value: Optional[int] = None
-        needs_memory = any(
-            rule.valid and rule.mem for rule in (entry.s1, entry.s2, entry.d)
+        needs_memory = (
+            (s1_rule.valid and s1_rule.mem)
+            or (s2_rule.valid and s2_rule.mem)
+            or (d_rule.valid and d_rule.mem)
         )
         if needs_memory and event.app_addr is not None:
             access = self.md_cache.access(event.app_addr)
@@ -117,21 +124,29 @@ class FilteringPipeline:
             tlb_miss = access.tlb_miss
             memory_value = self._read_memory_metadata(event.app_addr)
 
-        def value_for(rule, register: Optional[int]) -> Optional[int]:
-            if not rule.valid:
-                return None
-            if rule.mem:
-                return memory_value
-            if register is None:
-                return None
-            return self.md_registers.read(register)
-
-        metadata = OperandMetadata(
-            s1=value_for(entry.s1, event.src1_reg),
-            s2=value_for(entry.s2, event.src2_reg),
-            d=value_for(entry.d, event.dest_reg),
-        )
-        return metadata, cycles, tlb_miss
+        read_register = self.md_registers.read
+        if not s1_rule.valid:
+            s1 = None
+        elif s1_rule.mem:
+            s1 = memory_value
+        else:
+            register = event.src1_reg
+            s1 = read_register(register) if register is not None else None
+        if not s2_rule.valid:
+            s2 = None
+        elif s2_rule.mem:
+            s2 = memory_value
+        else:
+            register = event.src2_reg
+            s2 = read_register(register) if register is not None else None
+        if not d_rule.valid:
+            d = None
+        elif d_rule.mem:
+            d = memory_value
+        else:
+            register = event.dest_reg
+            d = read_register(register) if register is not None else None
+        return OperandMetadata(s1=s1, s2=s2, d=d), cycles, tlb_miss
 
     # --------------------------------------------------------------- evaluate
 

@@ -99,17 +99,19 @@ class AddrCheck(Monitor):
     # ------------------------------------------------------------ stack/heap
 
     def _set_range(self, start: int, size: int, allocate: bool) -> int:
-        words = 0
-        value = ALLOCATED if allocate else UNALLOCATED
-        for word in words_in_range(start, size):
-            if allocate:
-                self._allocated.add(word)
-            else:
-                self._allocated.discard(word)
-                self._alloc_site.pop(word, None)
-            self.critical_mem.write(word, value)
-            words += 1
-        return words
+        # Bulk equivalent of per-word updates: malloc/free/stack ranges
+        # cover thousands of words, so this runs at set/dict speed.
+        words = words_in_range(start, size)
+        if allocate:
+            self._allocated.update(words)
+            self.critical_mem.bulk_set(start, size, ALLOCATED)
+        else:
+            self._allocated.difference_update(words)
+            pop = self._alloc_site.pop
+            for word in words:
+                pop(word, None)
+            self.critical_mem.bulk_set(start, size, UNALLOCATED)
+        return len(words)
 
     def handle_stack_update(self, update: StackUpdate) -> HandlerResult:
         words = self._set_range(
@@ -121,20 +123,20 @@ class AddrCheck(Monitor):
 
     def on_suu_stack_update(self, update: StackUpdate) -> None:
         # The SUU wrote the critical bytes; mirror into authoritative state.
-        allocate = update.op is StackOp.CALL
-        for word in words_in_range(update.frame_base, update.frame_size):
-            if allocate:
-                self._allocated.add(word)
-            else:
-                self._allocated.discard(word)
+        words = words_in_range(update.frame_base, update.frame_size)
+        if update.op is StackOp.CALL:
+            self._allocated.update(words)
+        else:
+            self._allocated.difference_update(words)
 
     def _handle_memory_event(self, event: HighLevelEvent) -> HandlerResult:
         if event.kind is HighLevelKind.MALLOC:
             words = self._set_range(event.address, event.size, allocate=True)
             site = self._next_site
             self._next_site += 1
-            for word in words_in_range(event.address, event.size):
-                self._alloc_site[word] = site
+            self._alloc_site.update(
+                dict.fromkeys(words_in_range(event.address, event.size), site)
+            )
             return self._result(
                 self.costs.malloc(words), HandlerClass.HIGH_LEVEL, changed=True
             )

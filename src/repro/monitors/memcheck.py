@@ -261,11 +261,17 @@ class MemCheck(Monitor):
     # ------------------------------------------------------------ stack/heap
 
     def _set_range(self, start: int, size: int, state: int) -> int:
-        words = 0
-        for word in words_in_range(start, size):
-            self._set_word(word, state)
-            words += 1
-        return words
+        # Bulk equivalent of per-word _set_word calls: malloc/free/stack
+        # ranges cover thousands of words, so this runs at dict speed.
+        words = words_in_range(start, size)
+        if state == UNALLOC:
+            pop = self._words.pop
+            for word in words:
+                pop(word, None)
+        else:
+            self._words.update(dict.fromkeys(words, state))
+        self.critical_mem.bulk_set(start, size, state)
+        return len(words)
 
     def handle_stack_update(self, update: StackUpdate) -> HandlerResult:
         state = UNINIT if update.op is StackOp.CALL else UNALLOC
@@ -276,11 +282,13 @@ class MemCheck(Monitor):
 
     def on_suu_stack_update(self, update: StackUpdate) -> None:
         state = UNINIT if update.op is StackOp.CALL else UNALLOC
-        for word in words_in_range(update.frame_base, update.frame_size):
-            if state == UNALLOC:
-                self._words.pop(word, None)
-            else:
-                self._words[word] = state
+        words = words_in_range(update.frame_base, update.frame_size)
+        if state == UNALLOC:
+            pop = self._words.pop
+            for word in words:
+                pop(word, None)
+        else:
+            self._words.update(dict.fromkeys(words, state))
 
     def _handle_memory_event(self, event: HighLevelEvent) -> HandlerResult:
         if event.kind is HighLevelKind.MALLOC:

@@ -188,11 +188,22 @@ class MemLeak(Monitor):
 
     # ------------------------------------------------------------ stack/heap
 
+    def _clear_word_range(self, start: int, size: int) -> int:
+        """Bulk equivalent of per-word ``_set_word_ctx(word, None)`` calls:
+        release every tracked context in the range, drop the words from the
+        context map, and clear the critical bytes."""
+        words = words_in_range(start, size)
+        pop = self._word_ctx.pop
+        release = self._release
+        for word in words:
+            old = pop(word, None)
+            if old is not None:
+                release(old)
+        self.critical_mem.bulk_set(start, size, NONPTR)
+        return len(words)
+
     def handle_stack_update(self, update: StackUpdate) -> HandlerResult:
-        words = 0
-        for word in words_in_range(update.frame_base, update.frame_size):
-            self._set_word_ctx(word, None)
-            words += 1
+        words = self._clear_word_range(update.frame_base, update.frame_size)
         return self._result(
             self.costs.stack_update(words), HandlerClass.STACK_UPDATE, changed=True
         )
@@ -212,19 +223,13 @@ class MemLeak(Monitor):
             )
             self._next_context += 1
             self.contexts[context.context_id] = context
-            words = 0
-            for word in words_in_range(event.address, event.size):
-                self._set_word_ctx(word, None)
-                words += 1
+            words = self._clear_word_range(event.address, event.size)
             self._set_reg_ctx(event.register, context.context_id)
             return self._result(
                 self.costs.malloc(words), HandlerClass.HIGH_LEVEL, changed=True
             )
         if event.kind is HighLevelKind.FREE:
-            words = 0
-            for word in words_in_range(event.address, event.size):
-                self._set_word_ctx(word, None)
-                words += 1
+            words = self._clear_word_range(event.address, event.size)
             context = self._context_at(event.address)
             if context is not None:
                 context.freed = True

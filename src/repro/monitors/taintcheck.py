@@ -175,11 +175,14 @@ class TaintCheck(Monitor):
     # ------------------------------------------------------------ stack/heap
 
     def _clear_range(self, start: int, size: int) -> int:
-        words = 0
-        for word in words_in_range(start, size):
-            self._set_word(word, False)
-            words += 1
-        return words
+        # Bulk equivalent of per-word _set_word(word, False) calls.
+        words = words_in_range(start, size)
+        self._tainted_words.difference_update(words)
+        pop = self._origins.pop
+        for word in words:
+            pop(word, None)
+        self.critical_mem.bulk_set(start, size, UNTAINTED)
+        return len(words)
 
     def handle_stack_update(self, update: StackUpdate) -> HandlerResult:
         words = self._clear_range(update.frame_base, update.frame_size)
@@ -188,20 +191,24 @@ class TaintCheck(Monitor):
         )
 
     def on_suu_stack_update(self, update: StackUpdate) -> None:
-        for word in words_in_range(update.frame_base, update.frame_size):
-            self._tainted_words.discard(word)
-            self._origins.pop(word, None)
+        words = words_in_range(update.frame_base, update.frame_size)
+        self._tainted_words.difference_update(words)
+        pop = self._origins.pop
+        for word in words:
+            pop(word, None)
 
     def _handle_memory_event(self, event: HighLevelEvent) -> HandlerResult:
         if event.kind is HighLevelKind.TAINT_SOURCE:
             origin = self._next_origin
             self._next_origin += 1
-            words = 0
-            for word in words_in_range(event.address, event.size):
-                self._set_word(word, True, origin=origin)
-                words += 1
+            words = words_in_range(event.address, event.size)
+            self._tainted_words.update(words)
+            self._origins.update(dict.fromkeys(words, origin))
+            self.critical_mem.bulk_set(event.address, event.size, TAINTED)
             return self._result(
-                self.costs.taint_source(words), HandlerClass.HIGH_LEVEL, changed=True
+                self.costs.taint_source(len(words)),
+                HandlerClass.HIGH_LEVEL,
+                changed=True,
             )
         if event.kind in (HighLevelKind.MALLOC, HighLevelKind.FREE):
             words = self._clear_range(event.address, event.size)

@@ -32,8 +32,15 @@ class QueueStats:
     max_occupancy: int = 0
     occupancy_histogram: Counter = dataclasses.field(default_factory=Counter)
 
-    def record_occupancy(self, occupancy: int) -> None:
-        self.occupancy_histogram[occupancy] += 1
+    def record_occupancy(self, occupancy: int, cycles: int = 1) -> None:
+        """Count ``cycles`` sampled cycles at ``occupancy`` resident entries.
+
+        Interval-weighted accounting: a naive per-cycle sampler passes the
+        default weight of 1; a cycle-skipping simulator records a whole
+        constant-occupancy interval in one call.  Both yield the same
+        histogram for the same simulated timeline.
+        """
+        self.occupancy_histogram[occupancy] += cycles
 
     def occupancy_cdf(self) -> "list[tuple[int, float]]":
         """Cumulative distribution of sampled occupancies as (value, pct)."""
@@ -126,9 +133,10 @@ class BoundedQueue(Generic[T]):
     def peek(self) -> T:
         return self._entries[0]
 
-    def sample_occupancy(self) -> None:
-        """Record the current occupancy into the histogram (once per cycle)."""
-        self.stats.record_occupancy(len(self._entries))
+    def sample_occupancy(self, cycles: int = 1) -> None:
+        """Record the current occupancy into the histogram, weighted by the
+        number of simulated cycles it has been (and stays) constant."""
+        self.stats.record_occupancy(len(self._entries), cycles)
 
     def clear(self) -> None:
         while self._entries:

@@ -48,6 +48,11 @@ class SystemConfig:
     #: 5.2).  Disabling this is an *unsound* ablation used to quantify what
     #: the drain requirement costs.
     stack_update_drain: bool = True
+    #: Simulation engine: ``"event"`` (the default cycle-skipping core that
+    #: jumps across quiet intervals) or ``"naive"`` (the reference
+    #: one-cycle-per-iteration stepper).  Both produce bit-identical
+    #: results; "naive" is kept as the equivalence oracle and fallback.
+    engine: str = "event"
     #: Safety limit for the cycle loop.
     max_cycles: int = 500_000_000
 
@@ -56,6 +61,10 @@ class SystemConfig:
             raise ConfigurationError("event queue capacity must be positive or None")
         if self.unfiltered_queue_capacity <= 0:
             raise ConfigurationError("unfiltered queue capacity must be positive")
+        if self.engine not in ("naive", "event"):
+            raise ConfigurationError(
+                f"engine must be 'naive' or 'event', got {self.engine!r}"
+            )
 
     @property
     def is_smt(self) -> bool:

@@ -16,28 +16,45 @@ throughput while the other is active.
 
 Unaccelerated systems are the same loop with FADE removed: every monitored
 event travels through a single queue straight to the monitor.
+
+Two engines execute these semantics (``SystemConfig.engine``):
+
+* ``"naive"`` — the reference stepper: one simulated cycle per loop
+  iteration.
+* ``"event"`` — the default event-driven core: each iteration computes the
+  number of upcoming *quiet* cycles (no agent can dispatch, complete,
+  enqueue, dequeue or retire anything — every agent only accrues time) and
+  jumps across them in one step, accruing the skipped interval into the
+  cycle counters and the time-weighted queue-occupancy statistics in bulk.
+  Any cycle in which an agent acts runs through the reference stepper
+  verbatim, so the two engines produce bit-identical results (see
+  DESIGN.md, "Simulation engine").
 """
 
 from __future__ import annotations
 
-import dataclasses
 import enum
 import math
-from typing import List, Optional, Tuple, Union
+from fractions import Fraction
+from typing import List, Optional, Sequence, Union
 
 from repro.common.errors import SimulationError
 from repro.cores.base import CORE_PARAMETERS
 from repro.cores.retire import RetireModel
-from repro.fade.accelerator import Fade, FadeConfig
+from repro.fade.accelerator import Fade, FadeConfig, FadeStats
 from repro.fade.pipeline import HandlerKind
 from repro.isa.events import MonitoredEvent
 from repro.isa.instruction import Instruction
 from repro.monitors.base import HandlerClass, Monitor
 from repro.queues.bounded import BoundedQueue
-from repro.system.config import SystemConfig, Topology
-from repro.system.results import CycleBreakdown, RunResult
+from repro.system.config import SystemConfig
+from repro.system.results import RunResult
 from repro.workload.profile import BenchmarkProfile
 from repro.workload.trace import HighLevelEvent, Trace
+
+#: Horizon sentinel: quiet until some *other* agent acts (the actual jump is
+#: always additionally capped by ``SystemConfig.max_cycles``).
+_NEVER = 1 << 62
 
 
 class _ItemKind(enum.Enum):
@@ -46,19 +63,81 @@ class _ItemKind(enum.Enum):
     HIGH_LEVEL = "high-level"
 
 
-@dataclasses.dataclass
 class _WorkItem:
-    """One unit of monitor-software work."""
+    """One unit of monitor-software work.
 
-    kind: _ItemKind
-    payload: Union[MonitoredEvent, HighLevelEvent]
-    handler_kind: HandlerKind = HandlerKind.FULL
+    Slotted and with its event sequence precomputed: one is allocated per
+    monitored event, on the simulator's hottest path.
+    """
 
-    @property
-    def sequence(self) -> int:
-        if isinstance(self.payload, MonitoredEvent):
-            return self.payload.sequence
-        return -1
+    __slots__ = ("kind", "payload", "handler_kind", "sequence")
+
+    def __init__(
+        self,
+        kind: _ItemKind,
+        payload: Union[MonitoredEvent, HighLevelEvent],
+        handler_kind: HandlerKind = HandlerKind.FULL,
+    ) -> None:
+        self.kind = kind
+        self.payload = payload
+        self.handler_kind = handler_kind
+        self.sequence = (
+            payload.sequence if isinstance(payload, MonitoredEvent) else -1
+        )
+
+
+class DeliveryPlan:
+    """Precomputed per-trace-item delivery plan for one (trace, monitor).
+
+    ``items[i]`` is the :class:`_WorkItem` delivered when trace item ``i``
+    retires (None when the monitor ignores it).  Every payload is immutable,
+    so a plan may be shared between runs — the runner layer caches plans
+    per (benchmark, settings, monitor name).
+    """
+
+    __slots__ = ("items", "monitored", "stack_updates", "high_level")
+
+    def __init__(
+        self,
+        items: List[Optional[_WorkItem]],
+        monitored: int,
+        stack_updates: int,
+        high_level: int,
+    ) -> None:
+        self.items = items
+        self.monitored = monitored
+        self.stack_updates = stack_updates
+        self.high_level = high_level
+
+
+def build_plan(trace: Trace, monitor: Monitor) -> DeliveryPlan:
+    """Classify every trace item into its delivery plan entry (hot: one
+    pass per (trace, monitor), so the per-item lookups are hoisted)."""
+    items: List[Optional[_WorkItem]] = []
+    append = items.append
+    wants = monitor.wants
+    from_instruction = MonitoredEvent.from_instruction
+    instruction_event = _ItemKind.INSTRUCTION_EVENT
+    stack_update = _ItemKind.STACK_UPDATE
+    monitored = 0
+    stack_events = 0
+    high_level = 0
+    for index, item in enumerate(trace):
+        if isinstance(item, Instruction):
+            if wants(item):
+                event = from_instruction(item, sequence=index)
+                if event.is_stack_update:
+                    stack_events += 1
+                    append(_WorkItem(stack_update, event))
+                else:
+                    monitored += 1
+                    append(_WorkItem(instruction_event, event))
+            else:
+                append(None)
+        else:
+            high_level += 1
+            append(_WorkItem(_ItemKind.HIGH_LEVEL, item))
+    return DeliveryPlan(items, monitored, stack_events, high_level)
 
 
 class MonitoringSimulation:
@@ -71,25 +150,45 @@ class MonitoringSimulation:
         config: SystemConfig,
         profile: Optional[BenchmarkProfile] = None,
         warmup_items: int = 0,
+        schedule: Optional[Sequence[float]] = None,
+        plan: Optional[DeliveryPlan] = None,
     ) -> None:
         """``warmup_items`` leading trace items are applied functionally at
         zero cost before timing starts — the analogue of the paper's SMARTS
-        checkpoints with warmed caches and metadata (Section 6)."""
+        checkpoints with warmed caches and metadata (Section 6).
+
+        ``schedule`` and ``plan`` optionally supply the precomputed
+        unobstructed retirement schedule and delivery plan (the runner layer
+        caches both across grid cells); when omitted they are computed here.
+        """
         self.trace = trace
         self.monitor = monitor
         self.config = config
         self.profile = profile
         self.warmup_items = min(warmup_items, max(0, len(trace.items) - 1))
         self._params = CORE_PARAMETERS[config.core_type]
+        self._smt = config.is_smt
+        self._sample = config.sample_queue_occupancy
+
+        # Handler budgets in exact integer units of 1/(2 * denominator)
+        # instructions: both the full-share and the SMT half-share budget
+        # are integers, so handler-completion cycles are computed exactly —
+        # no float remainder accumulates over long runs.
+        ipc = Fraction(str(self._params.handler_ipc))
+        self._unit_scale = 2 * ipc.denominator
+        self._budget_full = 2 * ipc.numerator
+        self._budget_half = ipc.numerator
 
         bubble_prob = profile.bubble_prob if profile is not None else 0.0
         bubble_mean = profile.bubble_mean if profile is not None else 6.0
-        self._schedule = RetireModel(
-            core_type=config.core_type,
-            bubble_prob=bubble_prob,
-            bubble_mean=bubble_mean,
-            hierarchy_config=config.hierarchy,
-        ).schedule(trace)
+        if schedule is None:
+            schedule = RetireModel(
+                core_type=config.core_type,
+                bubble_prob=bubble_prob,
+                bubble_mean=bubble_mean,
+                hierarchy_config=config.hierarchy,
+            ).schedule(trace)
+        self._schedule = schedule
 
         self.fade: Optional[Fade] = None
         if config.fade_enabled:
@@ -119,30 +218,10 @@ class MonitoringSimulation:
             )
             self.work_queue = self.event_queue
 
-        # Precompute the per-item delivery plan.
-        self._plan: List[Optional[_WorkItem]] = []
-        monitored = 0
-        stack_events = 0
-        high_level = 0
-        for index, item in enumerate(trace):
-            if isinstance(item, Instruction):
-                if monitor.wants(item):
-                    event = MonitoredEvent.from_instruction(item, sequence=index)
-                    if event.is_stack_update:
-                        stack_events += 1
-                        self._plan.append(
-                            _WorkItem(_ItemKind.STACK_UPDATE, event)
-                        )
-                    else:
-                        monitored += 1
-                        self._plan.append(
-                            _WorkItem(_ItemKind.INSTRUCTION_EVENT, event)
-                        )
-                else:
-                    self._plan.append(None)
-            else:
-                high_level += 1
-                self._plan.append(_WorkItem(_ItemKind.HIGH_LEVEL, item))
+        if plan is None:
+            plan = build_plan(trace, monitor)
+        self._plan = plan.items
+        self._plan_len = len(plan.items)
 
         self.result = RunResult(
             benchmark=trace.name,
@@ -150,19 +229,36 @@ class MonitoringSimulation:
             system=config.describe(),
             baseline_cycles=self._schedule[-1] if self._schedule else 0.0,
             instructions=trace.num_instructions,
-            monitored_events=monitored,
-            stack_update_events=stack_events,
-            high_level_events=high_level,
+            monitored_events=plan.monitored,
+            stack_update_events=plan.stack_updates,
+            high_level_events=plan.high_level,
         )
         self._timed_started_at = 0.0
+
+        # Hoisted hot-path references: these objects' identities are stable
+        # for the lifetime of the run, and the cycle loop touches them every
+        # simulated cycle.
+        self._breakdown = self.result.cycle_breakdown
+        self._eq_entries = self.event_queue._entries
+        self._wq_entries = self.work_queue._entries
+        self._eq_hist = self.event_queue.stats.occupancy_histogram
+        self._wq_hist = self.work_queue.stats.occupancy_histogram
+        self._wq_capacity = self.work_queue.capacity
+        self._split_queues = self.work_queue is not self.event_queue
 
         # --- mutable run state ------------------------------------------------
         self._now = 0
         self._app_index = 0
-        self._app_progress = 0.0
+        # Application progress is ``base + halves / 2``: the base is an
+        # arbitrary schedule float and the per-cycle IPC shares (1.0 or 0.5)
+        # accumulate in an integer half-cycle counter, so advancing N cycles
+        # in one jump yields the bit-identical progress value of N
+        # single-cycle advances.
+        self._progress_base = 0.0
+        self._progress_halves = 0
         self._app_blocked = False
         self._monitor_item: Optional[_WorkItem] = None
-        self._monitor_remaining = 0.0
+        self._monitor_remaining = 0  # Integer handler-cost units.
         self._fade_ready_at = 0
         self._fade_wait_seq: Optional[int] = None
         self._fade_draining = False
@@ -180,48 +276,52 @@ class MonitoringSimulation:
         if count <= 0:
             return
         fade = self.fade
+        monitor = self.monitor
+        plan = self._plan
+        items = self.trace.items
+        instruction_event = _ItemKind.INSTRUCTION_EVENT
+        stack_kind = _ItemKind.STACK_UPDATE
         instructions_warmed = 0
         monitored = stack = high = 0
         for index in range(count):
-            if isinstance(self.trace.items[index], Instruction):
+            if isinstance(items[index], Instruction):
                 instructions_warmed += 1
-            item = self._plan[index]
+            item = plan[index]
             if item is None:
                 continue
-            if item.kind is _ItemKind.INSTRUCTION_EVENT:
+            if item.kind is instruction_event:
                 monitored += 1
                 if fade is not None:
                     outcome = fade.process_event(item.payload)
                     kind = outcome.handler_kind
                     if not outcome.filtered:
-                        self.monitor.handle_event(item.payload, kind)
+                        monitor.handle_event(item.payload, kind)
                         fade.handler_completed(item.payload.sequence)
                 else:
-                    self.monitor.handle_event(item.payload)
-            elif item.kind is _ItemKind.STACK_UPDATE:
+                    monitor.handle_event(item.payload)
+            elif item.kind is stack_kind:
                 stack += 1
                 update = item.payload.stack_update
                 if fade is not None and fade.suu is not None:
                     fade.process_stack_update(update)
-                    self.monitor.on_suu_stack_update(update)
+                    monitor.on_suu_stack_update(update)
                 else:
-                    self.monitor.handle_stack_update(update)
+                    monitor.handle_stack_update(update)
             else:
                 high += 1
                 if fade is not None:
-                    for inv_id, value in self.monitor.runtime_invariant_updates(
+                    for inv_id, value in monitor.runtime_invariant_updates(
                         item.payload
                     ):
                         fade.write_invariant(inv_id, value)
-                self.monitor.handle_high_level(item.payload)
+                monitor.handle_high_level(item.payload)
         # Reset statistics gathered during warmup.
-        self.monitor.reports.clear()
+        monitor.reports.clear()
         if fade is not None:
-            from repro.fade.accelerator import FadeStats
-
-            fade.stats = FadeStats()
+            fade.stats.reset()
         self._app_index = count
-        self._app_progress = self._schedule[count - 1]
+        self._progress_base = self._schedule[count - 1]
+        self._progress_halves = 0
         self._timed_started_at = self._schedule[count - 1]
         # Report only the timed region's counts.
         self.result.instructions -= instructions_warmed
@@ -232,26 +332,10 @@ class MonitoringSimulation:
 
     def run(self) -> RunResult:
         self._run_warmup()
-        config = self.config
-        max_cycles = config.max_cycles
-        sample = config.sample_queue_occupancy
-        while not self._done():
-            if self._now >= max_cycles:
-                raise SimulationError(
-                    f"cycle limit {max_cycles} exceeded "
-                    f"({self.result.benchmark}/{self.result.monitor})"
-                )
-            monitor_busy = self._monitor_step()
-            if self.fade is not None:
-                self._fade_step()
-            self._app_step(monitor_busy)
-            if sample:
-                self.event_queue.sample_occupancy()
-                if self.work_queue is not self.event_queue:
-                    self.work_queue.sample_occupancy()
-            self._classify_cycle(monitor_busy)
-            self._now += 1
-
+        if self.config.engine == "naive":
+            self._run_naive()
+        else:
+            self._run_event()
         self._finish_burst()
         self.result.cycles = float(self._now)
         self.result.reports = list(self.monitor.reports)
@@ -262,10 +346,88 @@ class MonitoringSimulation:
             self.result.work_queue_stats = self.work_queue.stats
         return self.result
 
+    def _cycle_limit_error(self) -> SimulationError:
+        return SimulationError(
+            f"cycle limit {self.config.max_cycles} exceeded "
+            f"({self.result.benchmark}/{self.result.monitor})"
+        )
+
+    def _run_naive(self) -> None:
+        """Reference stepper: one simulated cycle per iteration."""
+        max_cycles = self.config.max_cycles
+        done = self._done
+        step = self._step_cycle
+        while not done():
+            if self._now >= max_cycles:
+                raise self._cycle_limit_error()
+            step()
+
+    def _run_event(self) -> None:
+        """Event-driven core: jump across provably quiet intervals.
+
+        Each iteration either executes one reference cycle (when any agent
+        acts this cycle) or advances ``_quiet_horizon()`` cycles in a single
+        bulk-accounted step.  Because skips cover only cycles in which the
+        reference stepper would mutate nothing but counters, the final
+        :class:`RunResult` is bit-identical to the naive engine's.
+        """
+        max_cycles = self.config.max_cycles
+        done = self._done
+        step = self._step_cycle
+        horizon = self._quiet_horizon
+        skip = self._skip_cycles
+        # Adaptive probing: during dense activity (probes keep finding
+        # nothing, or only 1-3-cycle skips) the probe interval escalates up
+        # to every 8th cycle, so busy regions stop paying the probe on every
+        # cycle.  Stepping through a missed quiet cycle is the reference
+        # behaviour itself, so probe scheduling never affects results.
+        gap = 0  # Cycles to step blindly before the next probe.
+        probe_gap = 1
+        while not done():
+            now = self._now
+            if now >= max_cycles:
+                raise self._cycle_limit_error()
+            if gap > 0:
+                gap -= 1
+                step()
+                continue
+            quiet = horizon()
+            if quiet > 0:
+                probe_gap = 1  # Productive region: probe every cycle again.
+                if quiet > max_cycles - now:
+                    quiet = max_cycles - now
+                skip(quiet)
+            else:
+                step()
+                if probe_gap < 8:
+                    probe_gap <<= 1
+                gap = probe_gap - 1
+
+    def _step_cycle(self) -> None:
+        """One cycle of the reference semantics (shared by both engines)."""
+        monitor_busy = self._monitor_step()
+        if self.fade is not None:
+            self._fade_step()
+        self._app_step(monitor_busy)
+        if self._sample:
+            self._eq_hist[len(self._eq_entries)] += 1
+            if self._split_queues:
+                self._wq_hist[len(self._wq_entries)] += 1
+        # Inline CycleBreakdown.record(app_blocked, monitor_busy, 1): this
+        # runs every stepped cycle.
+        breakdown = self._breakdown
+        if self._app_blocked and monitor_busy:
+            breakdown.app_idle += 1
+        elif not monitor_busy:
+            breakdown.monitor_idle += 1
+        else:
+            breakdown.both_busy += 1
+        self._now += 1
+
     def _done(self) -> bool:
-        if self._app_index < len(self._plan):
+        if self._app_index < self._plan_len:
             return False
-        if not self.event_queue.is_empty or not self.work_queue.is_empty:
+        if self._eq_entries or self._wq_entries:
             return False
         if self._monitor_item is not None:
             return False
@@ -276,28 +438,168 @@ class MonitoringSimulation:
                 return False
         return True
 
+    # ------------------------------------------------------ event-driven core
+
+    def _quiet_horizon(self) -> int:
+        """How many upcoming cycles are *quiet*: no agent dispatches,
+        completes, enqueues, dequeues or retires anything — every agent only
+        accrues time and counters.  0 means "some agent acts this cycle; run
+        the reference stepper".  The computation is conservative: whenever a
+        state change cannot be ruled out, the cycle is treated as non-quiet.
+        """
+        item = self._monitor_item
+        if item is None:
+            if self._wq_entries:
+                return 0  # The monitor dispatches a handler this cycle.
+            monitor_busy = False
+            horizon = _NEVER
+        else:
+            monitor_busy = True
+            if self._smt and not self._app_blocked and self._app_index < self._plan_len:
+                budget = self._budget_half
+            else:
+                budget = self._budget_full
+            remaining = self._monitor_remaining
+            if remaining <= budget:
+                return 0  # The running handler completes this cycle.
+            # The handler completes on cycle ceil(remaining / budget); all
+            # earlier cycles only decrement the integer remainder.
+            horizon = (remaining - 1) // budget
+        if self.fade is not None:
+            fade_horizon = self._fade_quiet_horizon()
+            if fade_horizon == 0:
+                return 0
+            if fade_horizon < horizon:
+                horizon = fade_horizon
+        app_horizon = self._app_quiet_horizon(monitor_busy)
+        return app_horizon if app_horizon < horizon else horizon
+
+    def _fade_quiet_horizon(self) -> int:
+        """FADE's contribution to the quiet horizon (see `_quiet_horizon`).
+
+        Returns cycles-until-ready while the pipeline is busy, ``_NEVER``
+        while FADE only counts wait/drain cycles or is stalled on a full
+        queue/FSQ (cleared only by a non-quiet monitor cycle), and 0 when it
+        would dequeue or process something this cycle.
+        """
+        ready_at = self._fade_ready_at
+        if ready_at > self._now:
+            return ready_at - self._now
+        if self._fade_wait_seq is not None:
+            return _NEVER  # Accrues wait cycles until the handler completes.
+        if self._fade_draining:
+            # Drained means the unfiltered queue emptied and the last
+            # handler completed — both non-quiet monitor cycles.
+            if self._wq_entries or self._monitor_item is not None:
+                return _NEVER
+            return 0
+        event_entries = self._eq_entries
+        if not event_entries:
+            return _NEVER  # Filling the queue is a (non-quiet) app retirement.
+        kind = event_entries[0].kind
+        if kind is _ItemKind.INSTRUCTION_EVENT:
+            capacity = self._wq_capacity
+            if capacity is not None and len(self._wq_entries) >= capacity:
+                return _NEVER  # Freeing a slot is a non-quiet monitor cycle.
+            if self.fade.fsq_full:
+                return _NEVER  # FSQ entries release on handler completion.
+            return 0
+        if kind is _ItemKind.HIGH_LEVEL:
+            capacity = self._wq_capacity
+            if capacity is not None and len(self._wq_entries) >= capacity:
+                return _NEVER
+            return 0
+        return 0  # Stack update: starts draining or runs the SUU this cycle.
+
+    def _app_quiet_horizon(self, monitor_busy: bool) -> int:
+        """The app core's contribution: cycles until the next retirement
+        crossing at the current IPC share, or ``_NEVER`` while finished or
+        blocked on a (still-full) queue."""
+        if self._app_index >= self._plan_len:
+            return _NEVER
+        if self._app_blocked:
+            # Blocked deliveries keep failing while the target queue is
+            # full; the dequeue that frees a slot is itself non-quiet.
+            queue = self.event_queue if self.fade is not None else self.work_queue
+            return _NEVER if queue.is_full else 0
+        halves = 1 if (self._smt and monitor_busy) else 2
+        target = self._schedule[self._app_index]
+        base = self._progress_base
+        current = self._progress_halves
+        if target <= base + (current + halves) * 0.5:
+            return 0  # A retirement crosses this cycle.
+        # First crossing cycle k: the smallest k with
+        # base + (current + k*halves)/2 >= target.  A float estimate seeds
+        # the search; the exact progress expression then verifies it, so the
+        # crossing cycle matches the reference stepper bit for bit.
+        k = int(math.ceil(((target - base) * 2.0 - current) / halves))
+        if k < 2:
+            k = 2
+        while k > 2 and base + (current + (k - 1) * halves) * 0.5 >= target:
+            k -= 1
+        while base + (current + k * halves) * 0.5 < target:
+            k += 1
+        return k - 1
+
+    def _skip_cycles(self, cycles: int) -> None:
+        """Advance ``cycles`` quiet cycles in one jump, accruing exactly the
+        statistics the reference stepper would accrue one cycle at a time."""
+        result = self.result
+        monitor_busy = self._monitor_item is not None
+        if monitor_busy:
+            if self._smt and not self._app_blocked and self._app_index < self._plan_len:
+                budget = self._budget_half
+            else:
+                budget = self._budget_full
+            self._monitor_remaining -= cycles * budget
+            result.monitor_busy_cycles += cycles
+        if self.fade is not None and self._fade_ready_at <= self._now:
+            if self._fade_wait_seq is not None:
+                result.fade_wait_cycles += cycles
+            elif self._fade_draining:
+                result.fade_drain_cycles += cycles
+        if self._app_index < self._plan_len:
+            if self._app_blocked:
+                result.app_blocked_cycles += cycles
+                queue = self.event_queue if self.fade is not None else self.work_queue
+                queue.stats.rejected += cycles
+            elif self._smt and monitor_busy:
+                self._progress_halves += cycles
+            else:
+                self._progress_halves += 2 * cycles
+        if self._sample:
+            self._eq_hist[len(self._eq_entries)] += cycles
+            if self._split_queues:
+                self._wq_hist[len(self._wq_entries)] += cycles
+        self._breakdown.record(self._app_blocked, monitor_busy, cycles)
+        self._now += cycles
+
     # -------------------------------------------------------------- monitor
 
     def _monitor_step(self) -> bool:
         """Advance monitor-software execution; returns busy status."""
-        share = 1.0
-        if self.config.is_smt and not self._app_finished and not self._app_blocked:
-            share = 0.5
-        budget = self._params.handler_ipc * share
-        was_busy = self._monitor_item is not None or not self.work_queue.is_empty
-        while budget > 0.0:
+        entries = self._wq_entries
+        if self._monitor_item is None and not entries:
+            return False
+        if self._smt and not self._app_blocked and self._app_index < self._plan_len:
+            budget = self._budget_half
+        else:
+            budget = self._budget_full
+        work_queue = self.work_queue
+        while budget > 0:
             if self._monitor_item is None:
-                if self.work_queue.is_empty:
+                if not entries:
                     break
-                self._dispatch_handler(self.work_queue.dequeue())
-            take = min(budget, self._monitor_remaining)
+                self._dispatch_handler(work_queue.dequeue())
+            take = self._monitor_remaining
+            if take > budget:
+                take = budget
             self._monitor_remaining -= take
             budget -= take
-            if self._monitor_remaining <= 1e-9:
+            if self._monitor_remaining <= 0:
                 self._complete_handler()
-        if was_busy:
-            self.result.monitor_busy_cycles += 1
-        return self._monitor_item is not None or not self.work_queue.is_empty
+        self.result.monitor_busy_cycles += 1
+        return self._monitor_item is not None or bool(entries)
 
     def _dispatch_handler(self, item: _WorkItem) -> None:
         """Start one software handler; functional effects apply here."""
@@ -320,12 +622,12 @@ class MonitoringSimulation:
             )
             self._track_filtering(filterable)
         self._monitor_item = item
-        self._monitor_remaining = float(outcome.cost)
+        self._monitor_remaining = int(outcome.cost) * self._unit_scale
 
     def _complete_handler(self) -> None:
         item = self._monitor_item
         self._monitor_item = None
-        self._monitor_remaining = 0.0
+        self._monitor_remaining = 0
         if item is None:
             return
         if self.fade is not None and item.kind is _ItemKind.INSTRUCTION_EVENT:
@@ -349,10 +651,10 @@ class MonitoringSimulation:
             else:
                 self.result.fade_drain_cycles += 1
                 return
-        if self.event_queue.is_empty:
+        if not self._eq_entries:
             return
 
-        item: _WorkItem = self.event_queue.peek()
+        item: _WorkItem = self._eq_entries[0]
         if item.kind is _ItemKind.STACK_UPDATE:
             # Section 5.2: pending unfiltered events may reference the frame;
             # the consumer must drain the queue before SUU processing.
@@ -405,16 +707,21 @@ class MonitoringSimulation:
 
     @property
     def _unfiltered_drained(self) -> bool:
-        return self.work_queue.is_empty and self._monitor_item is None
+        return not self._wq_entries and self._monitor_item is None
 
     # ------------------------------------------------------------------ app
 
     @property
     def _app_finished(self) -> bool:
-        return self._app_index >= len(self._plan)
+        return self._app_index >= self._plan_len
+
+    @property
+    def _app_progress(self) -> float:
+        """Current application progress in (fractional) schedule cycles."""
+        return self._progress_base + self._progress_halves * 0.5
 
     def _app_step(self, monitor_busy: bool) -> None:
-        if self._app_finished:
+        if self._app_index >= self._plan_len:
             return
         if self._app_blocked:
             if not self._try_deliver(self._app_index):
@@ -422,20 +729,24 @@ class MonitoringSimulation:
                 return
             self._app_index += 1
             self._app_blocked = False
-        share = 1.0
-        if self.config.is_smt and monitor_busy:
-            share = 0.5
-        self._app_progress += share
+        if self._smt and monitor_busy:
+            self._progress_halves += 1
+        else:
+            self._progress_halves += 2
+        progress = self._progress_base + self._progress_halves * 0.5
+        schedule = self._schedule
+        plan_len = self._plan_len
         while (
-            self._app_index < len(self._plan)
-            and self._schedule[self._app_index] <= self._app_progress
+            self._app_index < plan_len
+            and schedule[self._app_index] <= progress
         ):
             if not self._try_deliver(self._app_index):
                 self._app_blocked = True
                 self.result.app_blocked_cycles += 1
                 # Freeze progress at the blocked item's retirement point so
                 # the backlog does not silently accumulate while stalled.
-                self._app_progress = self._schedule[self._app_index]
+                self._progress_base = schedule[self._app_index]
+                self._progress_halves = 0
                 return
             self._app_index += 1
 
@@ -474,15 +785,6 @@ class MonitoringSimulation:
             self.result.unfiltered_burst_sizes.append(self._current_burst)
             self._current_burst = 0
 
-    def _classify_cycle(self, monitor_busy: bool) -> None:
-        breakdown: CycleBreakdown = self.result.cycle_breakdown
-        if self._app_blocked and monitor_busy:
-            breakdown.app_idle += 1
-        elif not monitor_busy:
-            breakdown.monitor_idle += 1
-        else:
-            breakdown.both_busy += 1
-
 
 def simulate(
     trace: Trace,
@@ -490,9 +792,13 @@ def simulate(
     config: SystemConfig,
     profile: Optional[BenchmarkProfile] = None,
     warmup_items: int = 0,
+    schedule: Optional[Sequence[float]] = None,
+    plan: Optional[DeliveryPlan] = None,
 ) -> RunResult:
     """Simulate one run and return its :class:`RunResult`."""
-    return MonitoringSimulation(trace, monitor, config, profile, warmup_items).run()
+    return MonitoringSimulation(
+        trace, monitor, config, profile, warmup_items, schedule=schedule, plan=plan
+    ).run()
 
 
 def simulate_warmed(
@@ -501,8 +807,12 @@ def simulate_warmed(
     config: SystemConfig,
     profile: Optional[BenchmarkProfile] = None,
     warmup_fraction: float = 0.5,
+    schedule: Optional[Sequence[float]] = None,
+    plan: Optional[DeliveryPlan] = None,
 ) -> RunResult:
     """Simulate with the leading fraction of the trace as functional warmup
     (the default methodology for all paper-figure experiments)."""
     warmup_items = int(len(trace.items) * warmup_fraction)
-    return MonitoringSimulation(trace, monitor, config, profile, warmup_items).run()
+    return MonitoringSimulation(
+        trace, monitor, config, profile, warmup_items, schedule=schedule, plan=plan
+    ).run()

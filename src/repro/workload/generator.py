@@ -109,6 +109,9 @@ class TraceGenerator:
 
         self._items: List = []
         self._instruction_count = 0
+        # Hoisted hot-path bindings: _emit runs once per generated item.
+        self._append = self._items.append
+        self._parallel = profile.parallel
 
     # ------------------------------------------------------------------ API
 
@@ -123,10 +126,10 @@ class TraceGenerator:
     # ------------------------------------------------------------- internals
 
     def _emit(self, item) -> None:
-        self._items.append(item)
+        self._append(item)
         if isinstance(item, Instruction):
             self._instruction_count += 1
-            if self.profile.parallel:
+            if self._parallel:
                 self._until_switch -= 1
                 if self._until_switch <= 0:
                     self._switch_thread()

@@ -159,6 +159,22 @@ class TestLruCache:
         assert first is second
         assert cache.stats()["trace_hits"] == 1
 
+    def test_monitor_replacement_invalidates_cached_plans(self):
+        class QuietLeak(MemLeak):
+            monitored_op_classes = frozenset()  # Wants nothing.
+
+        cache = RunnerCache()
+        register_monitor("mutantleak", MemLeak)
+        try:
+            before = cache.plan("astar", TINY, "mutantleak")
+            register_monitor("mutantleak", QuietLeak, replace=True)
+            after = cache.plan("astar", TINY, "mutantleak")
+            assert after is not before  # Keyed by factory, not name.
+            assert after.monitored == 0
+            assert before.monitored > 0
+        finally:
+            MONITOR_REGISTRY.unregister("mutantleak")
+
     def test_profile_replacement_invalidates_cached_traces(self):
         base = get_profile("astar")
         cache = RunnerCache()

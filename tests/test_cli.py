@@ -37,6 +37,13 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "FADE logic" in out and "MD cache" in out
 
+    def test_profile_sim_wraps_command(self, capsys):
+        assert main(["--profile-sim", "list"]) == 0
+        captured = capsys.readouterr()
+        assert "astar" in captured.out
+        # The cProfile report goes to stderr.
+        assert "cumulative" in captured.err
+
     def test_run_fade(self, capsys):
         assert main(["run", "-n", "2500", "--seed", "3"]) == 0
         out = capsys.readouterr().out
