@@ -7,6 +7,13 @@ checks that the two engines produce bit-identical results, and writes
 event-vs-naive speedup) so the simulator core's performance trajectory is
 recorded per commit.
 
+Alongside the engine comparison the payload records the functional-work
+profile of a *cold* grid (packed-trace generation versus retire-schedule +
+delivery-plan building versus simulation, measured on a fresh runner) and
+the cold-versus-warm wall-clock of the same grid through a fresh
+content-addressed :class:`~repro.api.ResultStore` (the warm run serves
+every cell from disk and is checked bit-identical to the cold run).
+
 Runnable both as a script (the CI perf smoke job does
 ``PYTHONPATH=src python benchmarks/bench_perf_core.py``; exits non-zero if
 the engines disagree or the event engine is slower than naive) and under
@@ -30,6 +37,7 @@ import json
 import os
 import pathlib
 import sys
+import tempfile
 import time
 
 _ROOT = pathlib.Path(__file__).resolve().parent.parent
@@ -39,7 +47,7 @@ if str(_ROOT) not in sys.path:  # Script mode: make `benchmarks.common` importab
 from benchmarks.common import BENCH_SETTINGS, maybe_profile, record
 from repro.analysis import ExperimentSettings
 from repro.analysis.experiments import benchmarks_for
-from repro.api import RunSpec, SerialRunner
+from repro.api import ResultStore, RunSpec, SerialRunner
 from repro.cores.base import CoreType
 from repro.monitors import MONITOR_NAMES
 from repro.system import SystemConfig
@@ -73,6 +81,60 @@ def _inorder_specs(engine: str, settings: ExperimentSettings) -> list:
     ]
 
 
+def _measure_functional_split(settings: ExperimentSettings) -> dict:
+    """Cold fig9-grid profile on a fresh runner: packed-trace generation,
+    schedule + delivery-plan building, then simulation."""
+    specs = _fig9_specs("event", settings)
+    runner = SerialRunner()
+    start = time.perf_counter()
+    for spec in specs:
+        runner.cache.trace(spec.benchmark, settings)
+    trace_gen = time.perf_counter() - start
+    start = time.perf_counter()
+    for spec in specs:
+        runner.cache.schedule(spec.benchmark, settings, spec.config.core_type)
+        runner.cache.plan(spec.benchmark, settings, spec.monitor)
+    schedule_plan = time.perf_counter() - start
+    start = time.perf_counter()
+    runner.run(specs)
+    simulation = time.perf_counter() - start
+    total = trace_gen + schedule_plan + simulation
+    return {
+        "cells": len(specs),
+        "trace_gen_seconds": trace_gen,
+        "schedule_plan_seconds": schedule_plan,
+        "simulation_seconds": simulation,
+        "cold_total_seconds": total,
+        "functional_fraction": (trace_gen + schedule_plan) / total,
+    }
+
+
+def _measure_store(settings: ExperimentSettings) -> dict:
+    """Cold versus warm fig9 grid through a fresh ResultStore.
+
+    Cold pays generation + simulation + store writes; warm serves every
+    cell from disk.  The two ResultSets must be identical (store hits are
+    bit-identical to recomputation)."""
+    specs = _fig9_specs("event", settings)
+    with tempfile.TemporaryDirectory(prefix="repro-store-bench-") as tmp:
+        cold_store = ResultStore(tmp)
+        start = time.perf_counter()
+        cold = SerialRunner(store=cold_store).run(specs)
+        cold_seconds = time.perf_counter() - start
+        warm_store = ResultStore(tmp)
+        start = time.perf_counter()
+        warm = SerialRunner(store=warm_store).run(specs)
+        warm_seconds = time.perf_counter() - start
+        return {
+            "cells": len(specs),
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "warm_speedup": cold_seconds / warm_seconds,
+            "warm_hits": warm_store.hits,
+            "bit_identical": cold == warm,
+        }
+
+
 def run_perf_core(num_instructions: int = 0, rounds: int = 0) -> dict:
     """Time the fig9 grid under both engines; returns (and persists) the
     ``BENCH_perf.json`` payload."""
@@ -84,6 +146,8 @@ def run_perf_core(num_instructions: int = 0, rounds: int = 0) -> dict:
     if rounds <= 0:
         rounds = int(os.environ.get("REPRO_BENCH_PERF_ROUNDS", "2"))
     settings = dataclasses.replace(BENCH_SETTINGS, num_instructions=num_instructions)
+    functional = _measure_functional_split(settings)
+    store = _measure_store(settings)
     runner = SerialRunner()
     # Pre-warm traces, schedules and plans so both engines time simulation,
     # not workload synthesis.
@@ -130,8 +194,14 @@ def run_perf_core(num_instructions: int = 0, rounds: int = 0) -> dict:
         "rounds": rounds,
         "engines": fig9["engines"],
         "speedup_event_vs_naive": fig9["speedup_event_vs_naive"],
-        "bit_identical": fig9["bit_identical"] and inorder["bit_identical"],
+        "bit_identical": (
+            fig9["bit_identical"]
+            and inorder["bit_identical"]
+            and store["bit_identical"]
+        ),
         "inorder_unaccelerated": inorder,
+        "functional": functional,
+        "result_store": store,
     }
     BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
     return payload
@@ -161,7 +231,14 @@ def main() -> int:
             file=sys.stderr,
         )
         return 1
-    print(f"[BENCH_perf.json written: event engine {speedup:.2f}x vs naive]")
+    functional = payload["functional"]
+    store = payload["result_store"]
+    print(
+        f"[BENCH_perf.json written: event engine {speedup:.2f}x vs naive; "
+        f"cold grid {functional['cold_total_seconds']:.2f}s "
+        f"({100 * functional['functional_fraction']:.0f}% functional); "
+        f"warm result-store rerun {store['warm_speedup']:.0f}x]"
+    )
     return 0
 
 

@@ -6,7 +6,9 @@ the regeneration under pytest-benchmark.  All benches execute through one
 shared :class:`repro.api.Runner`, so traces and retire schedules are cached
 across benches (same settings) and the timed work is the simulation itself.
 Set ``REPRO_BENCH_JOBS=N`` to fan the experiment grids out over N worker
-processes.
+processes, and ``REPRO_RESULT_CACHE=PATH`` to give every bench a persistent
+content-addressed result store (re-running the suite recomputes only cells
+whose inputs changed).
 """
 
 from __future__ import annotations
@@ -18,7 +20,7 @@ import pathlib
 import pstats
 
 from repro.analysis import ExperimentSettings
-from repro.api import ParallelRunner, Runner, SerialRunner
+from repro.api import ParallelRunner, ResultStore, Runner, SerialRunner
 
 #: Shared experiment scale for the bench suite.  Larger values sharpen the
 #: statistics at proportional cost; the shapes are stable from ~10k up.
@@ -27,12 +29,22 @@ BENCH_SETTINGS = ExperimentSettings(num_instructions=12_000, seed=7)
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
 
 
+def make_store() -> "ResultStore | None":
+    """The shared persistent result store, when ``REPRO_RESULT_CACHE`` is
+    set; None otherwise (benches recompute every cell)."""
+    path = os.environ.get("REPRO_RESULT_CACHE", "")
+    return ResultStore(path) if path else None
+
+
 def make_runner() -> Runner:
     """Serial by default; ``REPRO_BENCH_JOBS=N`` (N > 1) runs grids on a
     process pool.  Results are identical either way — only wall-clock
     changes."""
     jobs = int(os.environ.get("REPRO_BENCH_JOBS", "0") or 0)
-    return ParallelRunner(jobs=jobs) if jobs > 1 else SerialRunner()
+    store = make_store()
+    if jobs > 1:
+        return ParallelRunner(jobs=jobs, store=store)
+    return SerialRunner(store=store)
 
 
 #: The runner every bench passes to its harness call.

@@ -10,7 +10,7 @@ is filtering the clean events around it.
 Run:  python examples/bug_hunt.py
 """
 
-from repro import SystemConfig, create_monitor, generate_trace, get_profile, simulate
+from repro import SystemConfig, Trace, create_monitor, generate_trace, get_profile, simulate
 from repro.workload.bugs import (
     atomicity_violation_trace,
     memory_leak_trace,
@@ -33,12 +33,16 @@ def main() -> None:
     config = SystemConfig(fade_enabled=True, non_blocking=True)
 
     for monitor_name, background, bug_factory, label in HUNTS:
-        # Clean background activity, then the buggy sequence.
+        # Clean background activity, then the buggy sequence.  Generated
+        # traces are packed and immutable, so splice via the item view:
+        # drop the early PROGRAM_EXIT (the bug trace carries its own) and
+        # append the bug items into a fresh object trace.
         profile = get_profile(background)
-        trace = generate_trace(profile, 3_000, seed=21)
-        trace.items = trace.items[:-1]  # Drop the early PROGRAM_EXIT...
+        clean = generate_trace(profile, 3_000, seed=21)
         bug = bug_factory()
-        trace.extend(bug.items)  # ...the bug trace carries its own.
+        trace = Trace(
+            clean.items[:-1] + bug.items, name=clean.name, seed=clean.seed
+        )
 
         monitor = create_monitor(monitor_name)
         result = simulate(trace, monitor, config, profile)

@@ -34,6 +34,7 @@ from repro.api import (
     ExperimentSettings,
     ParallelRunner,
     ResultSet,
+    ResultStore,
     Runner,
     RunSpec,
     SerialRunner,
@@ -89,6 +90,7 @@ __all__ = [
     "ParallelRunner",
     "ProgramBuilder",
     "ResultSet",
+    "ResultStore",
     "RunResult",
     "RunSpec",
     "Runner",

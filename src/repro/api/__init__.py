@@ -31,6 +31,13 @@ from repro.workload.profiles import benchmark_names, get_profile, register_profi
 
 from repro.api.cache import LruCache, RunnerCache
 from repro.api.results import ResultSet, RunRecord
+from repro.api.shm import (
+    SharedTraceArena,
+    SharedTraceHandle,
+    attach_trace,
+    shared_memory_available,
+)
+from repro.api.store import ResultStore
 from repro.api.runner import (
     ParallelRunner,
     Runner,
@@ -53,11 +60,15 @@ __all__ = [
     "LruCache",
     "ParallelRunner",
     "ResultSet",
+    "ResultStore",
     "RunRecord",
     "RunSpec",
     "Runner",
     "RunnerCache",
     "SerialRunner",
+    "SharedTraceArena",
+    "SharedTraceHandle",
+    "attach_trace",
     "benchmark_names",
     "create_monitor",
     "default_runner",
@@ -68,5 +79,6 @@ __all__ = [
     "register_profile",
     "run_specs",
     "set_default_runner",
+    "shared_memory_available",
     "spec_grid",
 ]

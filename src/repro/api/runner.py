@@ -4,40 +4,74 @@ Every runner owns its trace/schedule cache (no module-global state) and
 returns results in spec order, so serial and parallel execution of the same
 grid produce identical :class:`~repro.api.results.ResultSet` contents — the
 whole simulation derives its randomness deterministically from the spec.
+
+Two layers keep functional work off the grid's critical path:
+
+* **Shared-memory traces** — the parallel runner generates each packed
+  trace once, places its column buffer in ``multiprocessing.shared_memory``
+  and workers attach zero-copy (:mod:`repro.api.shm`), instead of every
+  worker regenerating or unpickling the trace.
+* **Result store** — pass ``store=ResultStore(path)`` (or ``--result-cache``
+  on the CLI) and cells whose spec content already has a stored result are
+  served from disk; only dirty cells are simulated.  Store hits are
+  bit-identical to recomputation (see :mod:`repro.api.store`).
 """
 
 from __future__ import annotations
 
+import copy
+import math
 import multiprocessing
 import os
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.common.errors import ConfigurationError
 from repro.monitors import MONITOR_REGISTRY, create_monitor
 from repro.system.results import RunResult
 from repro.system.simulator import MonitoringSimulation
+from repro.workload.packed import PackedTrace
 from repro.workload.profiles import get_profile
 
 from repro.api.cache import RunnerCache
 from repro.api.results import ResultSet, RunRecord
-from repro.api.spec import RunSpec
+from repro.api.shm import SharedTraceArena, SharedTraceHandle, attach_trace
+from repro.api.spec import ExperimentSettings, RunSpec
+from repro.api.store import ResultStore
+
+#: A trace travels to workers either as a shared-memory handle (zero-copy
+#: attach) or, when shared memory is unavailable, as the PackedTrace itself
+#: (pickled as one compact column-bytes blob via ``__reduce__``).
+TracePayload = Union[SharedTraceHandle, PackedTrace]
+
+#: Grids smaller than ``jobs`` run serially: pool startup (process spawn,
+#: imports, cache warm-up per worker) costs more than the handful of cells.
+_TINY_GRID = 2
 
 
-def execute_spec(spec: RunSpec, cache: Optional[RunnerCache] = None) -> RunResult:
+def execute_spec(
+    spec: RunSpec,
+    cache: Optional[RunnerCache] = None,
+    store: Optional[ResultStore] = None,
+) -> RunResult:
     """Simulate one cell with the standard warmup methodology.
 
     The trace, retirement schedule and delivery plan all come from the
     runner's cache, so cells of a grid that share a benchmark (and core or
-    monitor) only pay for them once.
+    monitor) only pay for them once.  With a ``store``, a cell whose spec
+    content already has a persisted result is served from disk.
     """
+    if store is not None:
+        cached = store.get(spec)
+        if cached is not None:
+            return cached
     if cache is None:
         cache = RunnerCache(max_traces=1, max_schedules=1, max_plans=1)
     trace = cache.trace(spec.benchmark, spec.settings)
     warmup = int(len(trace.items) * spec.settings.warmup_fraction)
-    return MonitoringSimulation(
+    result = MonitoringSimulation(
         trace,
         create_monitor(spec.monitor),
         spec.config,
@@ -48,16 +82,24 @@ def execute_spec(spec: RunSpec, cache: Optional[RunnerCache] = None) -> RunResul
         ),
         plan=cache.plan(spec.benchmark, spec.settings, spec.monitor),
     ).run()
+    if store is not None:
+        store.put(spec, result)
+    return result
 
 
 class Runner:
     """Executes specs; owns the bounded trace/schedule cache for its runs."""
 
-    def __init__(self, cache: Optional[RunnerCache] = None) -> None:
+    def __init__(
+        self,
+        cache: Optional[RunnerCache] = None,
+        store: Optional[ResultStore] = None,
+    ) -> None:
         self.cache = cache if cache is not None else RunnerCache()
+        self.store = store
 
     def run_one(self, spec: RunSpec) -> RunResult:
-        return execute_spec(spec, self.cache)
+        return execute_spec(spec, self.cache, self.store)
 
     def run(self, specs: Iterable[RunSpec]) -> ResultSet:
         raise NotImplementedError
@@ -87,10 +129,63 @@ def _worker_run(spec: RunSpec) -> RunResult:
     return execute_spec(spec, _WORKER_CACHE)
 
 
-def _worker_run_chunk(specs: List[RunSpec]) -> List[RunResult]:
-    """Execute a batch of specs in one pool task: chunking amortises the
-    per-task pickling/submission overhead across the whole batch."""
+def _worker_run_chunk(
+    payload: Tuple[List[RunSpec], Dict[Tuple[str, int, int], "TracePayload"]],
+) -> List[RunResult]:
+    """Execute a batch of specs in one pool task.
+
+    Chunking amortises the per-task submission overhead across the batch;
+    the accompanying payloads let the worker attach each benchmark's packed
+    trace from shared memory (once per process) — or take it straight from
+    the pickled chunk when shared memory was unavailable — instead of
+    regenerating it.  Attach failures are silent: the worker regenerates.
+    """
+    specs, handles = payload
+    global _WORKER_CACHE
+    if _WORKER_CACHE is None:
+        _WORKER_CACHE = RunnerCache()
+    for (benchmark, num_instructions, seed), handle in handles.items():
+        if isinstance(handle, SharedTraceHandle):
+            trace = attach_trace(handle)
+        else:
+            trace = handle  # Pickle fallback: the packed trace itself.
+        if trace is not None:
+            try:
+                _WORKER_CACHE.seed_trace(
+                    benchmark,
+                    ExperimentSettings(
+                        num_instructions=num_instructions, seed=seed
+                    ),
+                    trace,
+                )
+            except ConfigurationError:
+                # Unknown profile in this worker (spawn pool without the
+                # parent's runtime registrations); the per-spec execution
+                # below raises the full error.
+                pass
     return [_worker_run(spec) for spec in specs]
+
+
+# One-time flag for the spawn-context registration warning.
+_SPAWN_WARNING_EMITTED = False
+
+
+def _warn_spawn_context() -> None:
+    """Warn (once per process) that spawn-based pools re-import the package
+    and therefore cannot see monitors/profiles registered at runtime."""
+    global _SPAWN_WARNING_EMITTED
+    if _SPAWN_WARNING_EMITTED:
+        return
+    _SPAWN_WARNING_EMITTED = True
+    warnings.warn(
+        "the 'fork' start method is unavailable on this platform: pool "
+        "workers start from a fresh interpreter, so register_monitor()/"
+        "register_profile() calls made at runtime in this process are "
+        "invisible to them (built-in names are unaffected); grids using "
+        "runtime registrations fall back to serial execution",
+        RuntimeWarning,
+        stacklevel=4,
+    )
 
 
 class ParallelRunner(Runner):
@@ -99,22 +194,61 @@ class ParallelRunner(Runner):
     Simulations are CPU-bound pure Python, so processes (not threads) are
     the unit of parallelism; wall-clock improvement scales with available
     cores.  The ``fork`` start method is preferred so monitors and profiles
-    registered at runtime remain visible to workers.  Single-spec grids,
-    ``jobs=1`` and platforms without working process pools fall back to
-    serial execution; results are bit-identical either way.
+    registered at runtime remain visible to workers.  Packed traces travel
+    through shared memory (see module docstring).  Tiny grids
+    (``len(specs) < jobs``), ``jobs=1`` and platforms without working
+    process pools fall back to serial execution; results are bit-identical
+    either way.
     """
 
     def __init__(
-        self, jobs: Optional[int] = None, cache: Optional[RunnerCache] = None
+        self,
+        jobs: Optional[int] = None,
+        cache: Optional[RunnerCache] = None,
+        store: Optional[ResultStore] = None,
+        share_traces: bool = True,
     ) -> None:
-        super().__init__(cache)
+        super().__init__(cache, store)
         self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
+        self.share_traces = share_traces
 
     def run(self, specs: Iterable[RunSpec]) -> ResultSet:
         spec_list = list(specs)
+        store = self.store
+        results: List[Optional[RunResult]] = [None] * len(spec_list)
+        if store is not None:
+            # Serve warm cells from the store up front; only misses hit the
+            # pool.  Misses are stored as they complete below.
+            pending = []
+            for index, spec in enumerate(spec_list):
+                hit = store.get(spec)
+                if hit is None:
+                    pending.append(index)
+                else:
+                    results[index] = hit
+        else:
+            pending = list(range(len(spec_list)))
+        if pending:
+            computed = self._run_grid([spec_list[index] for index in pending])
+            for index, result in zip(pending, computed):
+                results[index] = result
+                if store is not None:
+                    store.put(spec_list[index], result)
+        return ResultSet(
+            RunRecord(spec, result) for spec, result in zip(spec_list, results)
+        )
+
+    # ------------------------------------------------------------- internals
+
+    def _run_serial(self, spec_list: List[RunSpec]) -> List[RunResult]:
+        return [execute_spec(spec, self.cache) for spec in spec_list]
+
+    def _run_grid(self, spec_list: List[RunSpec]) -> List[RunResult]:
+        """Execute every spec (no store involvement), in order."""
         workers = min(self.jobs, len(spec_list))
-        if workers <= 1:
-            return SerialRunner(self.cache).run(spec_list)
+        # Tiny grids: pool startup costs more than the cells themselves.
+        if workers <= 1 or len(spec_list) < max(self.jobs, _TINY_GRID):
+            return self._run_serial(spec_list)
         # Validate names in the parent so a genuinely unknown monitor or
         # benchmark fails fast here; a ConfigurationError raised in a worker
         # afterwards means the worker cannot see this process's runtime
@@ -127,6 +261,7 @@ class ParallelRunner(Runner):
             context = multiprocessing.get_context("fork")
         except ValueError:
             context = None
+            _warn_spawn_context()
         # Dispatch explicit benchmark-grouped chunks: each pool task carries
         # a batch of specs (amortising pickling and task submission), and
         # grouping by (benchmark, settings) maximises trace/schedule/plan
@@ -141,34 +276,82 @@ class ParallelRunner(Runner):
                 spec_list[i].monitor,
             ),
         )
-        chunk = max(1, len(spec_list) // (workers * 4))
+        trace_keys = {
+            (
+                spec.benchmark,
+                spec.settings.num_instructions,
+                spec.settings.seed,
+            )
+            for spec in spec_list
+        }
+        # Chunk size from specs-per-benchmark: chunks then align with the
+        # sorted benchmark groups (one trace per chunk), while staying small
+        # enough to load-balance across the pool.
+        per_group = math.ceil(len(spec_list) / len(trace_keys))
+        balance_cap = math.ceil(len(spec_list) / (workers * 4))
+        chunk = max(1, min(per_group, balance_cap) if balance_cap > 1 else per_group)
         index_chunks = [
             order[start:start + chunk] for start in range(0, len(order), chunk)
         ]
-        spec_chunks = [
-            [spec_list[i] for i in indices] for indices in index_chunks
-        ]
+        arena = SharedTraceArena()
         try:
-            with ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_worker_init,
-                mp_context=context,
-            ) as pool:
-                batches = list(pool.map(_worker_run_chunk, spec_chunks))
-        except (OSError, PermissionError, BrokenProcessPool, ConfigurationError) as error:
-            warnings.warn(
-                f"process pool unavailable ({error}); running serially",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            return SerialRunner(self.cache).run(spec_list)
+            handles: Dict[Tuple[str, int, int], TracePayload] = {}
+            if self.share_traces:
+                for benchmark, num_instructions, seed in sorted(trace_keys):
+                    settings = ExperimentSettings(
+                        num_instructions=num_instructions, seed=seed
+                    )
+                    trace = self.cache.trace(benchmark, settings)
+                    if isinstance(trace, PackedTrace):
+                        # Shared memory when available; otherwise ship the
+                        # packed trace itself (one compact pickled blob per
+                        # chunk) so workers still never regenerate.
+                        handles[(benchmark, num_instructions, seed)] = (
+                            arena.share(trace) or trace
+                        )
+            payloads = []
+            for indices in index_chunks:
+                chunk_specs = [spec_list[i] for i in indices]
+                chunk_handles = {
+                    key: handles[key]
+                    for key in {
+                        (
+                            spec.benchmark,
+                            spec.settings.num_instructions,
+                            spec.settings.seed,
+                        )
+                        for spec in chunk_specs
+                    }
+                    if key in handles
+                }
+                payloads.append((chunk_specs, chunk_handles))
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_worker_init,
+                    mp_context=context,
+                ) as pool:
+                    batches = list(pool.map(_worker_run_chunk, payloads))
+            except (
+                OSError,
+                PermissionError,
+                BrokenProcessPool,
+                ConfigurationError,
+            ) as error:
+                warnings.warn(
+                    f"process pool unavailable ({error}); running serially",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                return self._run_serial(spec_list)
+        finally:
+            # Segments never outlive the grid — worker crashes included.
+            arena.cleanup()
         results: List[Optional[RunResult]] = [None] * len(spec_list)
         for indices, batch in zip(index_chunks, batches):
             for index, result in zip(indices, batch):
                 results[index] = result
-        return ResultSet(
-            RunRecord(spec, result) for spec, result in zip(spec_list, results)
-        )
+        return results
 
 
 _DEFAULT_RUNNER: Optional[Runner] = None
@@ -193,10 +376,28 @@ def set_default_runner(runner: Optional[Runner]) -> None:
 
 
 def run_specs(
-    specs: Iterable[RunSpec], jobs: int = 1, runner: Optional[Runner] = None
+    specs: Iterable[RunSpec],
+    jobs: int = 1,
+    runner: Optional[Runner] = None,
+    store: Optional[ResultStore] = None,
 ) -> ResultSet:
     """Convenience entry point: run a grid with ``jobs`` worker processes
-    (``jobs <= 1`` means in-process serial execution)."""
+    (``jobs <= 1`` means in-process serial execution) and an optional
+    persistent :class:`ResultStore`.
+
+    Serial runs without a store go through :func:`default_runner` (honouring
+    :func:`set_default_runner` and its warm cache); a store never mutates a
+    caller-supplied or shared runner — it applies to this call only.
+    """
     if runner is None:
-        runner = ParallelRunner(jobs=jobs) if jobs > 1 else default_runner()
+        if jobs > 1:
+            runner = ParallelRunner(jobs=jobs, store=store)
+        elif store is None:
+            runner = default_runner()
+        else:
+            # Share the default runner's warm cache without mutating it.
+            runner = SerialRunner(cache=default_runner().cache, store=store)
+    elif store is not None and runner.store is not store:
+        runner = copy.copy(runner)  # Same cache; store scoped to this call.
+        runner.store = store
     return runner.run(specs)

@@ -1,0 +1,179 @@
+"""Zero-copy packed-trace distribution over ``multiprocessing.shared_memory``.
+
+The parallel runner generates each grid trace once (packed columns), copies
+the column buffer into a named shared-memory segment, and ships workers a
+tiny :class:`SharedTraceHandle` (segment name + column metadata) instead of
+the trace.  Workers attach the segment and rebuild a
+:class:`~repro.workload.packed.PackedTrace` whose columns are ``memoryview``
+casts straight into the shared buffer — no per-item unpickling, no
+regeneration, no copy.
+
+Lifecycle (documented in DESIGN.md):
+
+* **create** — the parent builds segments before submitting work and keeps
+  the ``SharedMemory`` objects; they are registered with the parent's
+  resource tracker, so even a hard parent crash gets them reaped.
+* **attach** — each worker attaches by name once per process (module-level
+  registry) and *unregisters* the attachment from its own resource tracker:
+  the parent owns cleanup, and double-tracking would produce spurious
+  "leaked shared_memory" warnings when the parent unlinks first.
+* **unlink** — the parent closes and unlinks every segment in a ``finally``
+  around the pool, so segments never outlive the grid — including when a
+  worker crashes (``BrokenProcessPool``) or the grid raises.  POSIX keeps an
+  unlinked segment alive until the last attached process exits, so workers
+  racing the unlink are safe.
+
+Degradation is graceful on both sides: when segment *creation* fails
+(platforms without working shared memory), the runner ships the packed
+trace itself in the chunk payload — still one compact pickled bytes blob
+(`PackedTrace.__reduce__`); when a worker-side *attach* fails (stale
+segment, schema mismatch), the worker silently regenerates the trace, so
+correctness never depends on shared memory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.workload.packed import PackedTrace
+
+try:  # pragma: no cover - exercised by absence on exotic platforms
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+
+def shared_memory_available() -> bool:
+    return _shared_memory is not None
+
+
+class SharedTraceHandle:
+    """Picklable reference to a packed trace living in shared memory."""
+
+    __slots__ = ("segment_name", "meta")
+
+    def __init__(self, segment_name: str, meta: dict) -> None:
+        self.segment_name = segment_name
+        self.meta = meta
+
+    def __getstate__(self):
+        return (self.segment_name, self.meta)
+
+    def __setstate__(self, state):
+        self.segment_name, self.meta = state
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedTraceHandle({self.segment_name!r}, "
+            f"{self.meta.get('count', 0)} items)"
+        )
+
+
+class SharedTraceArena:
+    """Parent-side owner of the shared segments for one grid run."""
+
+    def __init__(self) -> None:
+        self._segments: List[object] = []
+
+    def share(self, trace: PackedTrace) -> Optional[SharedTraceHandle]:
+        """Copy ``trace`` into a fresh shared segment; None when shared
+        memory is unavailable (callers fall back to pickling)."""
+        if _shared_memory is None:
+            return None
+        meta, payload = trace.to_payload()
+        try:
+            segment = _shared_memory.SharedMemory(
+                create=True, size=max(1, len(payload))
+            )
+        except OSError:
+            return None
+        segment.buf[: len(payload)] = payload
+        self._segments.append(segment)
+        return SharedTraceHandle(segment.name, meta)
+
+    def cleanup(self) -> None:
+        """Close and unlink every segment created by :meth:`share`.
+
+        Idempotent, and called in a ``finally`` by the runner so segments
+        are reclaimed on every exit path (worker crash included).
+        """
+        segments, self._segments = self._segments, []
+        for segment in segments:
+            try:
+                segment.close()
+            except OSError:  # pragma: no cover - platform-specific teardown
+                pass
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already reclaimed
+                pass
+            except OSError:  # pragma: no cover
+                pass
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def __enter__(self) -> "SharedTraceArena":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.cleanup()
+
+
+# Worker-side attachment registry: one attach per segment per process.
+_ATTACHED: Dict[str, PackedTrace] = {}
+
+
+def _attach_segment(name: str):
+    """Open an existing segment *without* resource-tracker registration.
+
+    The parent created (and tracks) the segment and owns its unlink; if an
+    attaching process registered it too, a spawn-pool worker's tracker would
+    "clean up" (unlink!) the live segment at worker exit, and a fork-pool
+    worker would double-account it in the shared tracker.  Python 3.13+
+    exposes ``track=False`` for exactly this; on older versions the
+    registration call is suppressed for the duration of the attach.
+    """
+    try:
+        return _shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter.
+        pass
+    from multiprocessing import resource_tracker
+
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return _shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original_register
+
+
+def attach_trace(handle: SharedTraceHandle) -> Optional[PackedTrace]:
+    """Attach to a shared segment and rebuild its packed trace (cached per
+    process).  Returns None when attaching fails — the caller regenerates
+    the trace locally instead (correctness never depends on the segment)."""
+    if _shared_memory is None:
+        return None
+    cached = _ATTACHED.get(handle.segment_name)
+    if cached is not None:
+        return cached
+    try:
+        segment = _attach_segment(handle.segment_name)
+    except (OSError, ValueError):
+        return None
+    try:
+        trace = PackedTrace.from_buffer(handle.meta, segment.buf, shared=segment)
+    except ValueError:  # Schema mismatch: stale segment from another build.
+        segment.close()
+        return None
+    _ATTACHED[handle.segment_name] = trace
+    return trace
+
+
+def detach_all() -> int:
+    """Release every cached worker-side attachment (test hook)."""
+    count = len(_ATTACHED)
+    for trace in list(_ATTACHED.values()):
+        trace.release()
+    _ATTACHED.clear()
+    return count

@@ -1,0 +1,165 @@
+"""Persistent content-addressed result store.
+
+A :class:`ResultStore` maps the *content* of a :class:`~repro.api.RunSpec`
+to its :class:`~repro.system.results.RunResult` on disk, so re-running any
+figure grid recomputes only dirty cells.  The store key is a SHA-256 over:
+
+* the spec's canonical JSON (benchmark, monitor, full system config,
+  settings) — any knob change is a new key;
+* the resolved benchmark profile's field values — re-registering a
+  benchmark name with different statistics invalidates its cached cells;
+* the registered monitor implementation's identity (module-qualified name)
+  — swapping a name to a different class invalidates its cells;
+* the packed-trace schema version and the store schema version — any
+  change to trace encoding or result serialisation retires the whole cache.
+
+Keying is over *inputs*, never over wall-clock or host state, so a store
+hit returns a ``RunResult`` bit-identical to recomputation (round-tripped
+through the same ``to_dict``/``from_dict`` pair the ResultSet save/load
+path uses; proven by tests/test_store.py).
+
+Entries are one JSON file per key, sharded by the key's first two hex
+digits, written atomically (``os.replace``) so concurrent writers — e.g. a
+grid running while another shell replays a figure — can share one store
+directory.  Corrupt or truncated entries are treated as misses and deleted.
+
+Monitors edited *in place* (same class name, new behaviour) are the one
+invalidation the key cannot see; ``repro cache clear`` is the escape hatch
+(documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+from typing import Dict, Optional, Union
+
+from repro.monitors import MONITOR_REGISTRY
+from repro.system.results import RunResult
+from repro.workload.packed import TRACE_SCHEMA_VERSION
+from repro.workload.profiles import get_profile
+
+from repro.api.spec import RunSpec
+
+
+class ResultStore:
+    """On-disk RunSpec-content → RunResult cache."""
+
+    #: Version of the store's on-disk entry format *and* of the RunResult
+    #: semantics it captures.  Bump whenever RunResult serialisation or the
+    #: simulation's meaning changes in a way the spec content cannot express.
+    SCHEMA_VERSION = 1
+
+    def __init__(self, path: Union[str, os.PathLike]) -> None:
+        self.path = pathlib.Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    # ---------------------------------------------------------------- keys
+
+    def key(self, spec: RunSpec) -> str:
+        """Content hash of everything the cell's result depends on."""
+        factory = MONITOR_REGISTRY.get(spec.monitor)
+        payload = {
+            "store_schema": self.SCHEMA_VERSION,
+            "trace_schema": TRACE_SCHEMA_VERSION,
+            "spec": spec.to_dict(),
+            "profile": dataclasses.asdict(get_profile(spec.benchmark)),
+            "monitor_impl": (
+                f"{getattr(factory, '__module__', '?')}."
+                f"{getattr(factory, '__qualname__', repr(factory))}"
+            ),
+        }
+        canonical = json.dumps(payload, sort_keys=True, default=str)
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def _entry_path(self, key: str) -> pathlib.Path:
+        return self.path / key[:2] / f"{key}.json"
+
+    # -------------------------------------------------------------- access
+
+    def get(self, spec: RunSpec) -> Optional[RunResult]:
+        """The cached result for ``spec``'s content, or None (a miss)."""
+        entry = self._entry_path(self.key(spec))
+        try:
+            data = json.loads(entry.read_text())
+            result = RunResult.from_dict(data["result"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            # Corrupt/truncated entry (e.g. a crashed writer predating the
+            # atomic-replace protocol): drop it and recompute.
+            try:
+                entry.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, spec: RunSpec, result: RunResult) -> None:
+        """Persist one cell atomically (tmp file + rename)."""
+        key = self.key(spec)
+        entry = self._entry_path(key)
+        entry.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {"key": key, "spec": spec.to_dict(), "result": result.to_dict()},
+            sort_keys=True,
+        )
+        fd, tmp_name = tempfile.mkstemp(
+            dir=entry.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, entry)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    # ---------------------------------------------------------- management
+
+    def _entries(self):
+        return self.path.glob("??/*.json")
+
+    def stats(self) -> Dict[str, object]:
+        entries = list(self._entries())
+        return {
+            "path": str(self.path),
+            "entries": len(entries),
+            "bytes": sum(entry.stat().st_size for entry in entries),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for entry in list(self._entries()):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        for shard in list(self.path.glob("??")):
+            try:
+                shard.rmdir()
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entries())
+
+    def __repr__(self) -> str:
+        return f"ResultStore({str(self.path)!r})"

@@ -7,10 +7,15 @@ Commands:
 * ``table2`` / ``fig9`` — regenerate the headline experiments.
 * ``area`` — print the Section 7.6 area/power report.
 * ``list`` — show the available benchmarks and monitors.
+* ``cache`` — inspect (``stats``) or empty (``clear``) a persistent result
+  cache directory.
 
 Experiment commands accept ``--jobs N`` (fan the grid out over N worker
-processes) and ``--out results.json`` (persist the raw
-:class:`~repro.api.ResultSet`; ``repro.api.ResultSet.load`` restores it).
+processes), ``--out results.json`` (persist the raw
+:class:`~repro.api.ResultSet`; ``repro.api.ResultSet.load`` restores it) and
+``--result-cache PATH`` (a persistent content-addressed
+:class:`~repro.api.ResultStore`: re-running a grid recomputes only cells
+whose inputs changed).  ``REPRO_RESULT_CACHE`` sets the default cache path.
 ``repro --profile-sim <command> ...`` wraps the command in ``cProfile`` and
 prints the top-20 cumulative entries to stderr.
 Monitors and benchmarks registered through :mod:`repro.api` are runnable by
@@ -20,6 +25,7 @@ name like the built-in ones.
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
 import sys
 from typing import List, Optional
@@ -35,6 +41,7 @@ from repro.analysis import (
 from repro.api import (
     ParallelRunner,
     ResultSet,
+    ResultStore,
     Runner,
     RunSpec,
     SerialRunner,
@@ -63,6 +70,12 @@ def _add_execution_arguments(
     parser.add_argument(
         "--out", type=pathlib.Path, default=None, metavar="FILE",
         help="save the raw results as JSON (reload with ResultSet.load)",
+    )
+    parser.add_argument(
+        "--result-cache", type=pathlib.Path, default=None, metavar="PATH",
+        help="persistent content-addressed result cache directory: cells "
+             "whose inputs are unchanged are served from disk "
+             "(default: $REPRO_RESULT_CACHE if set)",
     )
 
 
@@ -101,11 +114,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("area", help="Section 7.6 area/power report")
     sub.add_parser("list", help="available benchmarks and monitors")
+
+    cache = sub.add_parser("cache", help="manage a persistent result cache")
+    cache.add_argument(
+        "action", choices=("stats", "clear"),
+        help="stats: entry count/size; clear: delete every cached result",
+    )
+    cache.add_argument(
+        "--result-cache", type=pathlib.Path, default=None, metavar="PATH",
+        help="cache directory (default: $REPRO_RESULT_CACHE)",
+    )
     return parser
 
 
-def _make_runner(jobs: int) -> Runner:
-    return ParallelRunner(jobs=jobs) if jobs and jobs > 1 else SerialRunner()
+def _make_store(args: argparse.Namespace) -> Optional[ResultStore]:
+    """The ResultStore for ``--result-cache``/$REPRO_RESULT_CACHE, if any."""
+    path = getattr(args, "result_cache", None)
+    if path is None:
+        env = os.environ.get("REPRO_RESULT_CACHE", "")
+        path = pathlib.Path(env) if env else None
+    return ResultStore(path) if path is not None else None
+
+
+def _make_runner(jobs: int, store: Optional[ResultStore] = None) -> Runner:
+    if jobs and jobs > 1:
+        return ParallelRunner(jobs=jobs, store=store)
+    return SerialRunner(store=store)
 
 
 def _maybe_save(results: ResultSet, out: Optional[pathlib.Path]) -> int:
@@ -135,7 +169,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         non_blocking=not args.blocking,
     )
     spec = RunSpec(args.benchmark, args.monitor, config, settings)
-    results = SerialRunner().run([spec])
+    results = SerialRunner(store=_make_store(args)).run([spec])
     result = results.results[0]
     print(result.summary())
     if result.fade_stats is not None:
@@ -159,7 +193,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_table2(args: argparse.Namespace) -> int:
     settings = ExperimentSettings(num_instructions=args.instructions, seed=args.seed)
-    results = table2_results(settings, runner=_make_runner(args.jobs))
+    results = table2_results(settings, runner=_make_runner(args.jobs, _make_store(args)))
     measured = table2_aggregate(results)
     rows = [[name, value] for name, value in measured.items()]
     print(format_table(["monitor", "filtering %"], rows,
@@ -169,7 +203,7 @@ def _cmd_table2(args: argparse.Namespace) -> int:
 
 def _cmd_fig9(args: argparse.Namespace) -> int:
     settings = ExperimentSettings(num_instructions=args.instructions, seed=args.seed)
-    results = fig9_results(settings, runner=_make_runner(args.jobs))
+    results = fig9_results(settings, runner=_make_runner(args.jobs, _make_store(args)))
     data = fig9_aggregate(results)
     rows = []
     for monitor_name, per_bench in data.items():
@@ -203,12 +237,33 @@ def _cmd_list(_: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    store = _make_store(args)
+    if store is None:
+        print(
+            "error: no cache directory (pass --result-cache PATH or set "
+            "REPRO_RESULT_CACHE)",
+            file=sys.stderr,
+        )
+        return 1
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"[{removed} cached result(s) removed from {store.path}]")
+        return 0
+    stats = store.stats()
+    print(f"result cache at {stats['path']}:")
+    print(f"  entries: {stats['entries']}")
+    print(f"  bytes:   {stats['bytes']}")
+    return 0
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "table2": _cmd_table2,
     "fig9": _cmd_fig9,
     "area": _cmd_area,
     "list": _cmd_list,
+    "cache": _cmd_cache,
 }
 
 

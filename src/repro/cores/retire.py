@@ -26,6 +26,16 @@ from repro.cores.base import CORE_PARAMETERS, CoreParameters, CoreType
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import OpClass
 from repro.mem.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.workload.packed import (
+    DEPENDS_BIT,
+    DEST_SHIFT,
+    KIND_INSTRUCTION,
+    OP_CLASSES,
+    OP_INDEX,
+    OPERAND_MEMORY,
+    SRC2_SHIFT,
+    PackedTrace,
+)
 from repro.workload.trace import Trace
 
 #: Execute latencies by op class (cycles); loads come from the hierarchy.
@@ -41,6 +51,14 @@ _EXEC_LATENCY = {
 }
 
 _HASH_MULTIPLIER = 2654435761  # Knuth multiplicative hash.
+
+#: Execute latencies indexed by packed op-class code (loads resolved via the
+#: hierarchy; the LOAD slot is a placeholder).
+_EXEC_LATENCY_BY_CODE = tuple(
+    float(_EXEC_LATENCY.get(op, 1)) for op in OP_CLASSES
+)
+_LOAD_CODE = OP_INDEX[OpClass.LOAD]
+_STORE_CODE = OP_INDEX[OpClass.STORE]
 
 
 def _bubble_gap(index: int, seed: int, probability: float, mean: float) -> float:
@@ -66,6 +84,10 @@ class RetireModel:
 
     def schedule(self, trace: Trace) -> List[float]:
         """Unobstructed retirement time (fractional cycles) per trace item."""
+        if isinstance(trace, PackedTrace):
+            # Column fast path: identical float math over the packed columns,
+            # no per-item object materialisation (tested bit-identical).
+            return self._schedule_packed(trace)
         params: CoreParameters = CORE_PARAMETERS[self.core_type]
         hierarchy = MemoryHierarchy(self.hierarchy_config)
         interval = 1.0 / params.width
@@ -121,6 +143,94 @@ class RetireModel:
             # which is what serialises pointer-chasing codes regardless of
             # how many independent instructions the OoO core overlaps.
             if item.depends_on_prev:
+                start = dispatch if dispatch > chain_complete else chain_complete
+                complete = start + latency
+                chain_complete = complete
+            else:
+                complete = dispatch + latency
+            floor = last_retire + interval
+            retire = complete if complete > floor else floor
+
+            append(retire)
+            retire_ring[instruction_index % rob] = retire
+            last_dispatch = dispatch
+            last_retire = retire
+            instruction_index += 1
+
+        return times
+
+    def _schedule_packed(self, trace: PackedTrace) -> List[float]:
+        """The reference loop reading packed columns instead of objects.
+
+        Every arithmetic step matches :meth:`schedule`'s object loop
+        operation for operation, so the resulting schedule is bit-identical
+        (asserted by tests/test_packed_trace.py).
+        """
+        params: CoreParameters = CORE_PARAMETERS[self.core_type]
+        hierarchy = MemoryHierarchy(self.hierarchy_config)
+        interval = 1.0 / params.width
+        rob = params.rob_entries
+        seed = trace.seed & 0xFFFFFFFF
+
+        times: List[float] = []
+        retire_ring: List[float] = [0.0] * rob
+        last_dispatch = 0.0
+        chain_complete = 0.0
+        last_retire = 0.0
+        instruction_index = 0
+
+        append = times.append
+        load_latency = hierarchy.load_latency
+        store_latency = hierarchy.store_latency
+        latency_by_code = _EXEC_LATENCY_BY_CODE
+        load_code = _LOAD_CODE
+        store_code = _STORE_CODE
+        bubble_prob = self.bubble_prob
+        bubble_mean = self.bubble_mean
+        has_bubbles = bubble_prob > 0.0
+        memory_kind = OPERAND_MEMORY
+
+        f0, f1, f2, f3, f4, f5, kind_column, op_column, flags_column, _ = (
+            trace.column_lists()
+        )
+
+        for index in range(len(trace)):
+            if kind_column[index] != KIND_INSTRUCTION:
+                # High-level events ride along with the previous instruction.
+                append(last_retire)
+                continue
+
+            dispatch = last_dispatch + interval
+            if instruction_index >= rob:
+                ring_slot = retire_ring[instruction_index % rob]
+                if ring_slot > dispatch:
+                    dispatch = ring_slot
+            if has_bubbles:
+                dispatch += _bubble_gap(
+                    instruction_index, seed, bubble_prob, bubble_mean
+                )
+
+            op_code = op_column[index]
+            flags = flags_column[index]
+            if op_code == load_code or op_code == store_code:
+                # item.memory_address scans sources then dest; mirror it.
+                if flags & 3 == memory_kind:
+                    address = f1[index]
+                elif (flags >> SRC2_SHIFT) & 3 == memory_kind:
+                    address = f2[index]
+                elif (flags >> DEST_SHIFT) & 3 == memory_kind:
+                    address = f3[index]
+                else:
+                    address = None
+                if op_code == load_code:
+                    latency = float(load_latency(address))
+                else:
+                    latency = latency_by_code[op_code]
+                    store_latency(address)
+            else:
+                latency = latency_by_code[op_code]
+
+            if flags & DEPENDS_BIT:
                 start = dispatch if dispatch > chain_complete else chain_complete
                 complete = start + latency
                 chain_complete = complete

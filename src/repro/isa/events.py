@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Optional
+from typing import NamedTuple, Optional
 
 from repro.isa.instruction import Instruction, Operand, OperandKind
 from repro.isa.opcodes import OpClass
@@ -34,7 +34,7 @@ class StackOp(enum.Enum):
     RETURN = "return"  # Frame freed: metadata set to the return invariant.
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class StackUpdate:
     """Bulk metadata initialisation request for a stack frame."""
 
@@ -47,13 +47,17 @@ class StackUpdate:
             raise ValueError("frame_size must be non-negative")
 
 
-@dataclasses.dataclass(frozen=True)
-class MonitoredEvent:
+class MonitoredEvent(NamedTuple):
     """An application event enqueued for FADE (Figure 6(a)).
 
     The operand registers are 5-bit indices; ``app_addr`` is present only for
     memory instructions.  ``sequence`` is a simulation-side ordinal used for
     dependence tracking and statistics, not an architectural field.
+
+    A ``NamedTuple`` rather than a (frozen) dataclass: events are built in
+    bulk on the delivery-plan path — millions per grid — and tuple
+    construction/field access is several times cheaper while staying
+    immutable and value-comparable.
     """
 
     event_id: int

@@ -21,7 +21,7 @@ class OperandKind(enum.Enum):
     MEMORY = "memory"
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Operand:
     """A single instruction operand.
 
@@ -46,7 +46,7 @@ class Operand:
         return Operand(OperandKind.MEMORY, address)
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Instruction:
     """A retired dynamic instruction.
 

@@ -85,25 +85,33 @@ class Cache:
     def __init__(self, config: CacheConfig) -> None:
         self.config = config
         self.stats = CacheStats()
+        # Geometry hoisted to plain ints: ``access`` runs once per
+        # load/store of every trace, and ``config.num_sets`` is a computed
+        # property.
+        self._block_bytes = config.block_bytes
+        self._num_sets = config.num_sets
+        self._associativity = config.associativity
         # One OrderedDict per set: tag -> None, most recent last.
         self._sets: List[OrderedDict] = [OrderedDict() for _ in range(config.num_sets)]
 
     def _locate(self, address: int) -> tuple:
-        block = address // self.config.block_bytes
-        return block % self.config.num_sets, block // self.config.num_sets
+        block = address // self._block_bytes
+        return block % self._num_sets, block // self._num_sets
 
     def access(self, address: int) -> bool:
         """Look up ``address``; allocate on miss.  Returns hit status."""
-        set_index, tag = self._locate(address)
-        ways = self._sets[set_index]
+        block = address // self._block_bytes
+        ways = self._sets[block % self._num_sets]
+        tag = block // self._num_sets
+        stats = self.stats
         if tag in ways:
             ways.move_to_end(tag)
-            self.stats.hits += 1
+            stats.hits += 1
             return True
-        self.stats.misses += 1
-        if len(ways) >= self.config.associativity:
+        stats.misses += 1
+        if len(ways) >= self._associativity:
             ways.popitem(last=False)
-            self.stats.evictions += 1
+            stats.evictions += 1
         ways[tag] = None
         return False
 

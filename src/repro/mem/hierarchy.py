@@ -40,14 +40,20 @@ class MemoryHierarchy:
         self.config = config
         self.l1 = Cache(config.l1)
         self.l2 = Cache(config.l2)
+        # Hoisted latencies: one load_latency call per load of every trace.
+        self._l1_latency = config.l1.latency
+        self._l2_latency = config.l1.latency + config.l2.latency
+        self._dram_latency = config.l1.latency + config.l2.latency + config.dram_latency
+        self._l1_access = self.l1.access
+        self._l2_access = self.l2.access
 
     def load_latency(self, address: int) -> int:
         """Total latency of a load to ``address``, filling caches on miss."""
-        if self.l1.access(address):
-            return self.config.l1.latency
-        if self.l2.access(address):
-            return self.config.l1.latency + self.config.l2.latency
-        return self.config.l1.latency + self.config.l2.latency + self.config.dram_latency
+        if self._l1_access(address):
+            return self._l1_latency
+        if self._l2_access(address):
+            return self._l2_latency
+        return self._dram_latency
 
     def store_latency(self, address: int) -> int:
         """Stores allocate like loads; retirement hides store latency, but

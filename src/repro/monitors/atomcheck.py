@@ -70,6 +70,8 @@ class AtomCheck(Monitor):
     name = "AtomCheck"
     monitored_op_classes = frozenset({OpClass.LOAD, OpClass.STORE})
     monitors_stack_updates = False
+    #: Accesses at or above STACK_REGION_START are thread-private stack.
+    wants_memory_below = STACK_REGION_START
 
     #: INV RF allocation: ids 0/1 hold the current thread's read/write tags.
     READ_TAG_INV = 0
@@ -81,12 +83,6 @@ class AtomCheck(Monitor):
         self._last_access: Dict[int, Tuple[int, str]] = {}
         # Non-critical: (word, thread) -> that thread's previous access type.
         self._local_history: Dict[Tuple[int, int], str] = {}
-
-    def wants(self, instruction: Instruction) -> bool:
-        if instruction.op_class not in self.monitored_op_classes:
-            return False
-        address = instruction.memory_address
-        return address is not None and address < STACK_REGION_START
 
     # ---------------------------------------------------------------- program
 

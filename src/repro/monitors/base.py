@@ -79,6 +79,11 @@ class Monitor(abc.ABC):
     monitored_op_classes: frozenset = frozenset()
     #: Whether function calls/returns are monitored (stack updates).
     monitors_stack_updates: bool = False
+    #: Optional address bound: when set, a monitored instruction must touch
+    #: memory *below* this address to produce an event (AtomCheck ignores
+    #: the thread-private stack region).  Declarative so the packed-trace
+    #: plan fast path can honour it without materialising instructions.
+    wants_memory_below: Optional[int] = None
 
     def __init__(self, costs: HandlerCosts) -> None:
         self.costs = costs
@@ -107,7 +112,12 @@ class Monitor(abc.ABC):
         """Is this retired instruction a monitored event?"""
         if instruction.op_class.is_stack_op:
             return self.monitors_stack_updates
-        return instruction.op_class in self.monitored_op_classes
+        if instruction.op_class not in self.monitored_op_classes:
+            return False
+        if self.wants_memory_below is not None:
+            address = instruction.memory_address
+            return address is not None and address < self.wants_memory_below
+        return True
 
     # ---------------------------------------------------------------- events
 

@@ -43,12 +43,22 @@ from repro.cores.base import CORE_PARAMETERS
 from repro.cores.retire import RetireModel
 from repro.fade.accelerator import Fade, FadeConfig, FadeStats
 from repro.fade.pipeline import HandlerKind
-from repro.isa.events import MonitoredEvent
+from repro.isa.events import MonitoredEvent, StackOp, StackUpdate
 from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OpClass, event_id_for
 from repro.monitors.base import HandlerClass, Monitor
 from repro.queues.bounded import BoundedQueue
 from repro.system.config import SystemConfig
 from repro.system.results import RunResult
+from repro.workload.packed import (
+    DEST_SHIFT,
+    KIND_INSTRUCTION,
+    OP_CLASSES,
+    OPERAND_MEMORY,
+    OPERAND_REGISTER,
+    SRC2_SHIFT,
+    PackedTrace,
+)
 from repro.workload.profile import BenchmarkProfile
 from repro.workload.trace import HighLevelEvent, Trace
 
@@ -112,7 +122,13 @@ class DeliveryPlan:
 
 def build_plan(trace: Trace, monitor: Monitor) -> DeliveryPlan:
     """Classify every trace item into its delivery plan entry (hot: one
-    pass per (trace, monitor), so the per-item lookups are hoisted)."""
+    pass per (trace, monitor), so the per-item lookups are hoisted).
+
+    Packed traces whose monitor uses the stock ``wants`` predicate are
+    classified straight from the columns — no per-item ``Instruction``
+    materialisation (tested bit-identical against the object path)."""
+    if isinstance(trace, PackedTrace) and type(monitor).wants is Monitor.wants:
+        return _build_plan_packed(trace, monitor)
     items: List[Optional[_WorkItem]] = []
     append = items.append
     wants = monitor.wants
@@ -137,6 +153,129 @@ def build_plan(trace: Trace, monitor: Monitor) -> DeliveryPlan:
         else:
             high_level += 1
             append(_WorkItem(_ItemKind.HIGH_LEVEL, item))
+    return DeliveryPlan(items, monitored, stack_events, high_level)
+
+
+def _build_plan_packed(trace: PackedTrace, monitor: Monitor) -> DeliveryPlan:
+    """Column fast path of :func:`build_plan`.
+
+    Builds the exact :class:`MonitoredEvent` payloads that
+    ``MonitoredEvent.from_instruction`` would produce, directly from the
+    packed columns; high-level payloads come from the trace's lazy item view
+    (shared with any other consumer of the same trace).
+
+    Event payloads are monitor-independent (the monitor only decides *which*
+    items produce one), so they are memoised on the trace: the five paper
+    monitors mostly want overlapping op classes, and grid cells sharing a
+    benchmark construct each event once.
+    """
+    # monitor.wants depends only on the op class for the stock predicate, so
+    # it collapses to one boolean per packed op code.
+    wanted = tuple(
+        (monitor.monitors_stack_updates if op.is_stack_op else
+         op in monitor.monitored_op_classes)
+        for op in OP_CLASSES
+    )
+    stack_op_for = {
+        op: (StackOp.CALL if op is OpClass.CALL else StackOp.RETURN)
+        for op in OP_CLASSES
+        if op.is_stack_op
+    }
+    items: List[Optional[_WorkItem]] = []
+    append = items.append
+    instruction_event = _ItemKind.INSTRUCTION_EVENT
+    stack_update_kind = _ItemKind.STACK_UPDATE
+    high_level_kind = _ItemKind.HIGH_LEVEL
+    monitored = 0
+    stack_events = 0
+    high_level = 0
+
+    f0, f1, f2, f3, f4, f5, kind_column, op_column, flags_column, _ = (
+        trace.column_lists()
+    )
+    view = trace.items
+    register_kind = OPERAND_REGISTER
+    memory_kind = OPERAND_MEMORY
+    memory_below = monitor.wants_memory_below
+    full_handler = HandlerKind.FULL
+    new_item = _WorkItem.__new__
+
+    # Monitor-independent payload memo, one slot per trace item.
+    events = getattr(trace, "_plan_event_cache", None)
+    if events is None:
+        events = [None] * len(trace)
+        trace._plan_event_cache = events
+
+    for index in range(len(trace)):
+        if kind_column[index] != KIND_INSTRUCTION:
+            high_level += 1
+            append(_WorkItem(high_level_kind, view[index]))
+            continue
+        op_code = op_column[index]
+        if not wanted[op_code]:
+            append(None)
+            continue
+        flags = flags_column[index]
+        src1_kind = flags & 3
+        src2_kind = (flags >> SRC2_SHIFT) & 3
+        dest_kind = (flags >> DEST_SHIFT) & 3
+        op_class = OP_CLASSES[op_code]
+        if op_class.is_stack_op:
+            stack_events += 1
+            event = events[index]
+            if event is None:
+                num_sources = (1 if src1_kind else 0) + (1 if src2_kind else 0)
+                event = MonitoredEvent(
+                    event_id=event_id_for(op_class, num_sources),
+                    app_pc=f0[index],
+                    stack_update=StackUpdate(
+                        op=stack_op_for[op_class],
+                        frame_base=f4[index],
+                        frame_size=f5[index],
+                    ),
+                    sequence=index,
+                )
+                events[index] = event
+            item = new_item(_WorkItem)
+            item.kind = stack_update_kind
+            item.payload = event
+            item.handler_kind = full_handler
+            item.sequence = index
+            append(item)
+            continue
+        if src1_kind == memory_kind:
+            app_addr = f1[index]
+        elif src2_kind == memory_kind:
+            app_addr = f2[index]
+        elif dest_kind == memory_kind:
+            app_addr = f3[index]
+        else:
+            app_addr = None
+        if memory_below is not None and (
+            app_addr is None or app_addr >= memory_below
+        ):
+            append(None)
+            continue
+        monitored += 1
+        event = events[index]
+        if event is None:
+            num_sources = (1 if src1_kind else 0) + (1 if src2_kind else 0)
+            event = MonitoredEvent(
+                event_id=event_id_for(op_class, num_sources),
+                app_pc=f0[index],
+                app_addr=app_addr,
+                src1_reg=f1[index] if src1_kind == register_kind else None,
+                src2_reg=f2[index] if src2_kind == register_kind else None,
+                dest_reg=f3[index] if dest_kind == register_kind else None,
+                sequence=index,
+            )
+            events[index] = event
+        item = new_item(_WorkItem)
+        item.kind = instruction_event
+        item.payload = event
+        item.handler_kind = full_handler
+        item.sequence = index
+        append(item)
     return DeliveryPlan(items, monitored, stack_events, high_level)
 
 
@@ -278,14 +417,13 @@ class MonitoringSimulation:
         fade = self.fade
         monitor = self.monitor
         plan = self._plan
-        items = self.trace.items
         instruction_event = _ItemKind.INSTRUCTION_EVENT
         stack_kind = _ItemKind.STACK_UPDATE
-        instructions_warmed = 0
+        # Packed traces count instructions with a column scan; object traces
+        # with an isinstance pass — no materialisation either way.
+        instructions_warmed = self.trace.count_instructions(0, count)
         monitored = stack = high = 0
         for index in range(count):
-            if isinstance(items[index], Instruction):
-                instructions_warmed += 1
             item = plan[index]
             if item is None:
                 continue

@@ -19,6 +19,12 @@ from repro.workload.bugs import (
 )
 from repro.workload.generator import TraceGenerator, generate_trace
 from repro.workload.heap import Allocation, HeapModel
+from repro.workload.packed import (
+    TRACE_SCHEMA_VERSION,
+    PackedTrace,
+    PackedTraceBuilder,
+    pack_trace,
+)
 from repro.workload.profile import BenchmarkProfile
 from repro.workload.profiles import (
     PARALLEL_BENCHMARKS,
@@ -42,8 +48,11 @@ __all__ = [
     "HighLevelKind",
     "PARALLEL_BENCHMARKS",
     "PROFILE_REGISTRY",
+    "PackedTrace",
+    "PackedTraceBuilder",
     "SPEC_BENCHMARKS",
     "TAINT_BENCHMARKS",
+    "TRACE_SCHEMA_VERSION",
     "Trace",
     "TraceGenerator",
     "TraceItem",
@@ -52,6 +61,7 @@ __all__ = [
     "generate_trace",
     "get_profile",
     "memory_leak_trace",
+    "pack_trace",
     "register_profile",
     "taint_exploit_trace",
     "uninitialized_read_trace",

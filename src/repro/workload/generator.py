@@ -12,6 +12,12 @@ The generated traces are clean by construction — no use-after-free, no reads
 of uninitialised data, no tainted jump targets — so any report a monitor
 raises on a generated trace is a false positive (tested).  Buggy traces come
 from :mod:`repro.workload.bugs`.
+
+Traces are emitted directly as :class:`~repro.workload.packed.PackedTrace`
+columns — the hot emit path appends machine integers, never constructs
+per-item ``Instruction``/``HighLevelEvent`` objects.  The packed trace's lazy
+item view materialises identical objects on demand, so every consumer sees
+the same trace an object emitter would have produced.
 """
 
 from __future__ import annotations
@@ -21,12 +27,20 @@ from typing import Deque, Dict, List, Optional, Set
 
 from repro.common.rng import DeterministicRng
 from repro.common.units import WORD_SIZE
-from repro.isa.instruction import Instruction, Operand
 from repro.isa.opcodes import OpClass
 from repro.workload.heap import HeapModel
+from repro.workload.packed import (
+    HL_INDEX,
+    OP_INDEX,
+    OPERAND_MEMORY,
+    OPERAND_NONE,
+    OPERAND_REGISTER,
+    PackedTrace,
+    PackedTraceBuilder,
+)
 from repro.workload.profile import BenchmarkProfile
 from repro.workload.stack import CallStackModel
-from repro.workload.trace import HighLevelEvent, HighLevelKind, Trace
+from repro.workload.trace import HighLevelKind
 
 #: Base of the statically allocated (global/data) segment.
 GLOBAL_BASE = 0x0040_0000
@@ -55,6 +69,27 @@ _BURST_POINTER_BOOST = 3.0
 #: Size of the streaming sub-segment of the global data segment.
 STREAM_REGION_BYTES = 256 * 1024
 
+# Hoisted column codes for the packed emit path.
+_OP_LOAD = OP_INDEX[OpClass.LOAD]
+_OP_STORE = OP_INDEX[OpClass.STORE]
+_OP_ALU = OP_INDEX[OpClass.ALU]
+_OP_MOVE = OP_INDEX[OpClass.MOVE]
+_OP_FP = OP_INDEX[OpClass.FP]
+_OP_BRANCH = OP_INDEX[OpClass.BRANCH]
+_OP_CALL = OP_INDEX[OpClass.CALL]
+_OP_RETURN = OP_INDEX[OpClass.RETURN]
+_OP_NOP = OP_INDEX[OpClass.NOP]
+
+_HL_MALLOC = HL_INDEX[HighLevelKind.MALLOC]
+_HL_FREE = HL_INDEX[HighLevelKind.FREE]
+_HL_TAINT_SOURCE = HL_INDEX[HighLevelKind.TAINT_SOURCE]
+_HL_THREAD_SWITCH = HL_INDEX[HighLevelKind.THREAD_SWITCH]
+_HL_PROGRAM_EXIT = HL_INDEX[HighLevelKind.PROGRAM_EXIT]
+
+_NONE = OPERAND_NONE
+_REG = OPERAND_REGISTER
+_MEM = OPERAND_MEMORY
+
 
 class TraceGenerator:
     """Generates one synthetic trace for a benchmark profile."""
@@ -63,6 +98,12 @@ class TraceGenerator:
         self.profile = profile
         self.seed = seed
         self._rng = DeterministicRng(seed, profile.name, "trace")
+        # Hoisted stream methods: the stochastic step makes several draws per
+        # emitted item, so the attribute chains are bound once.
+        self._chance = self._rng.chance
+        self._randint = self._rng.randint
+        self._choice = self._rng.choice
+        self._random = self._rng.random
         self._heap = HeapModel(self._rng.child("heap"))
         self._stack = CallStackModel(self._rng.child("stack"), profile.max_call_depth)
 
@@ -107,115 +148,15 @@ class TraceGenerator:
         self._thread = 0
         self._until_switch = profile.thread_switch_period
 
-        self._items: List = []
+        self._builder = PackedTraceBuilder()
         self._instruction_count = 0
-        # Hoisted hot-path bindings: _emit runs once per generated item.
-        self._append = self._items.append
+        # Hoisted hot-path bindings: one of these runs per generated item.
+        self._add_insn = self._builder.add_instruction
+        self._add_hl = self._builder.add_high_level
         self._parallel = profile.parallel
-
-    # ------------------------------------------------------------------ API
-
-    def generate(self, num_instructions: int) -> Trace:
-        """Produce a trace with exactly ``num_instructions`` instructions."""
-        self._emit_startup()
-        while self._instruction_count < num_instructions:
-            self._step()
-        self._emit(HighLevelEvent(kind=HighLevelKind.PROGRAM_EXIT, thread=self._thread))
-        return Trace(self._items, name=self.profile.name, seed=self.seed)
-
-    # ------------------------------------------------------------- internals
-
-    def _emit(self, item) -> None:
-        self._append(item)
-        if isinstance(item, Instruction):
-            self._instruction_count += 1
-            if self._parallel:
-                self._until_switch -= 1
-                if self._until_switch <= 0:
-                    self._switch_thread()
-
-    def _switch_thread(self) -> None:
-        self._thread = (self._thread + 1) % self.profile.num_threads
-        self._until_switch = self.profile.thread_switch_period
-        self._items.append(
-            HighLevelEvent(kind=HighLevelKind.THREAD_SWITCH, thread=self._thread)
-        )
-
-    def _next_pc(self) -> int:
-        self._pc += 4
-        if self._rng.chance(0.05):  # Taken branches/jumps scatter PCs.
-            self._pc = CODE_BASE + self._rng.randint(0, 1 << 16) * 4
-        return self._pc
-
-    def _emit_startup(self) -> None:
-        """Register the global segment and push the main frame.
-
-        The globals MALLOC tells monitors the static data segment is
-        allocated and initialised at program start; the initial CALL creates
-        the main stack frame.
-        """
-        global_size = (
-            self.profile.hot_set_words * WORD_SIZE + STREAM_REGION_BYTES
-        )
-        self._emit(
-            HighLevelEvent(
-                kind=HighLevelKind.MALLOC,
-                address=GLOBAL_BASE,
-                size=global_size,
-                register=0,
-                thread=self._thread,
-                startup=True,
-            )
-        )
-        if self.profile.parallel:
-            self._emit(
-                HighLevelEvent(
-                    kind=HighLevelKind.MALLOC,
-                    address=SHARED_BASE,
-                    size=self.profile.shared_words * WORD_SIZE,
-                    register=0,
-                    thread=self._thread,
-                    startup=True,
-                )
-            )
-        self._initialized_words.update(self._hot_words)
-        self._initialized_words.update(self._shared_word_list)
-        self._do_call()
-
-    # --- stochastic step ----------------------------------------------------
-
-    def _step(self) -> None:
-        profile = self.profile
-        # Pending allocation-init burst takes priority: it models the store
-        # burst that immediately follows a malloc.
-        if self._pending_init and self._rng.chance(profile.init_burst_intensity):
-            self._emit_init_store(self._pending_init.popleft())
-            return
-        self._in_init_burst = False
-
-        if self._rng.chance(profile.taint_source_rate):
-            self._do_buffer_taint_source()
-            return
-        if self._rng.chance(profile.malloc_rate):
-            self._do_malloc()
-            return
-        if self._rng.chance(profile.malloc_rate * profile.free_fraction):
-            self._do_free()
-            return
-        if self._rng.chance(profile.call_rate):
-            # Keep depth roughly balanced around a slowly wandering level.
-            if self._stack.can_return and (
-                not self._stack.can_call or self._rng.chance(0.5)
-            ):
-                self._do_return()
-            else:
-                self._do_call()
-            return
-        self._emit_regular_instruction()
-
-    def _emit_regular_instruction(self) -> None:
-        profile = self.profile
-        op_class = self._rng.weighted_choice(
+        # Precomputed opcode sampler: one random() draw per pick, identical
+        # stream consumption to rng.weighted_choice (see weighted_chooser).
+        self._pick_op = self._rng.weighted_chooser(
             (
                 OpClass.LOAD,
                 OpClass.STORE,
@@ -237,6 +178,121 @@ class TraceGenerator:
                 profile.nop_weight,
             ),
         )
+
+    # ------------------------------------------------------------------ API
+
+    def generate(self, num_instructions: int) -> PackedTrace:
+        """Produce a trace with exactly ``num_instructions`` instructions."""
+        self._emit_startup()
+        while self._instruction_count < num_instructions:
+            self._step()
+        self._add_hl(_HL_PROGRAM_EXIT, 0, 0, 0, self._thread, False)
+        return self._builder.build(name=self.profile.name, seed=self.seed)
+
+    # ------------------------------------------------------------- internals
+
+    def _emit_instruction(
+        self,
+        pc: int,
+        op_index: int,
+        src1_kind: int,
+        src1_value: int,
+        src2_kind: int,
+        src2_value: int,
+        dest_kind: int,
+        dest_value: int,
+        depends: bool,
+        frame_base: int = 0,
+        frame_size: int = 0,
+    ) -> None:
+        self._add_insn(
+            pc,
+            op_index,
+            src1_kind,
+            src1_value,
+            src2_kind,
+            src2_value,
+            dest_kind,
+            dest_value,
+            self._thread,
+            depends,
+            frame_base,
+            frame_size,
+        )
+        self._instruction_count += 1
+        if self._parallel:
+            self._until_switch -= 1
+            if self._until_switch <= 0:
+                self._switch_thread()
+
+    def _switch_thread(self) -> None:
+        self._thread = (self._thread + 1) % self.profile.num_threads
+        self._until_switch = self.profile.thread_switch_period
+        self._add_hl(_HL_THREAD_SWITCH, 0, 0, 0, self._thread, False)
+
+    def _next_pc(self) -> int:
+        self._pc += 4
+        if self._chance(0.05):  # Taken branches/jumps scatter PCs.
+            self._pc = CODE_BASE + self._randint(0, 1 << 16) * 4
+        return self._pc
+
+    def _emit_startup(self) -> None:
+        """Register the global segment and push the main frame.
+
+        The globals MALLOC tells monitors the static data segment is
+        allocated and initialised at program start; the initial CALL creates
+        the main stack frame.
+        """
+        global_size = (
+            self.profile.hot_set_words * WORD_SIZE + STREAM_REGION_BYTES
+        )
+        self._add_hl(_HL_MALLOC, GLOBAL_BASE, global_size, 0, self._thread, True)
+        if self.profile.parallel:
+            self._add_hl(
+                _HL_MALLOC,
+                SHARED_BASE,
+                self.profile.shared_words * WORD_SIZE,
+                0,
+                self._thread,
+                True,
+            )
+        self._initialized_words.update(self._hot_words)
+        self._initialized_words.update(self._shared_word_list)
+        self._do_call()
+
+    # --- stochastic step ----------------------------------------------------
+
+    def _step(self) -> None:
+        profile = self.profile
+        # Pending allocation-init burst takes priority: it models the store
+        # burst that immediately follows a malloc.
+        if self._pending_init and self._chance(profile.init_burst_intensity):
+            self._emit_init_store(self._pending_init.popleft())
+            return
+        self._in_init_burst = False
+
+        if self._chance(profile.taint_source_rate):
+            self._do_buffer_taint_source()
+            return
+        if self._chance(profile.malloc_rate):
+            self._do_malloc()
+            return
+        if self._chance(profile.malloc_rate * profile.free_fraction):
+            self._do_free()
+            return
+        if self._chance(profile.call_rate):
+            # Keep depth roughly balanced around a slowly wandering level.
+            if self._stack.can_return and (
+                not self._stack.can_call or self._chance(0.5)
+            ):
+                self._do_return()
+            else:
+                self._do_call()
+            return
+        self._emit_regular_instruction()
+
+    def _emit_regular_instruction(self) -> None:
+        op_class = self._pick_op()
         if op_class is OpClass.LOAD:
             self._emit_load()
         elif op_class is OpClass.STORE:
@@ -257,15 +313,15 @@ class TraceGenerator:
     # --- operand selection helpers -------------------------------------------
 
     def _pick_register(self) -> int:
-        return self._rng.randint(1, NUM_REGISTERS - 1)
+        return self._randint(1, NUM_REGISTERS - 1)
 
     def _pick_data_register(self) -> int:
         """A destination register from the data partition (never r1..r8)."""
-        return self._rng.randint(POINTER_REG_MAX + 1, NUM_REGISTERS - 1)
+        return self._randint(POINTER_REG_MAX + 1, NUM_REGISTERS - 1)
 
     def _pick_pointer_dest_register(self) -> int:
         """A destination register from the pointer partition (r1..r8)."""
-        return self._rng.randint(1, POINTER_REG_MAX)
+        return self._randint(1, POINTER_REG_MAX)
 
     def _pick_clean_register(self) -> int:
         """A register holding neither a pointer nor taint.
@@ -275,34 +331,34 @@ class TraceGenerator:
         saturating the register file through accidental propagation.
         """
         for _ in range(8):
-            reg = self._rng.randint(1, NUM_REGISTERS - 1)
+            reg = self._randint(1, NUM_REGISTERS - 1)
             if reg not in self._pointer_regs and reg not in self._tainted_regs:
                 return reg
-        return self._rng.randint(1, NUM_REGISTERS - 1)
+        return self._randint(1, NUM_REGISTERS - 1)
 
     def _pick_pointer_register(self) -> Optional[int]:
         if not self._pointer_regs:
             return None
-        return self._rng.choice(sorted(self._pointer_regs))
+        return self._choice(sorted(self._pointer_regs))
 
     def _pick_tainted_register(self) -> Optional[int]:
         if not self._tainted_regs:
             return None
-        return self._rng.choice(sorted(self._tainted_regs))
+        return self._choice(sorted(self._tainted_regs))
 
     def _depends(self) -> bool:
-        return self._rng.chance(self.profile.dep_prob)
+        return self._chance(self.profile.dep_prob)
 
     def _choose_load_address(self) -> int:
         """Pick a word to read; always an initialised, allocated word."""
         profile = self.profile
-        if profile.pointer_load_bias and self._pointer_words and self._rng.chance(
+        if profile.pointer_load_bias and self._pointer_words and self._chance(
             profile.pointer_load_bias
         ):
             address = self._pick_live(self._pointer_words, self._pointer_word_set)
             if address is not None:
                 return address
-        if profile.taint_load_bias and self._tainted_words and self._rng.chance(
+        if profile.taint_load_bias and self._tainted_words and self._chance(
             profile.taint_load_bias
         ):
             address = self._pick_live(self._tainted_words, self._tainted_word_set)
@@ -315,25 +371,25 @@ class TraceGenerator:
         list uses lazy deletion, so it may contain freed/overwritten words —
         choosing one of those would synthesise a use-after-free)."""
         for _ in range(6):
-            address = self._rng.choice(candidates)
+            address = self._choice(candidates)
             if address in live:
                 return address
         return None
 
     def _choose_data_address(self, for_write: bool) -> int:
         profile = self.profile
-        roll = self._rng.random()
+        roll = self._random()
         if profile.parallel and roll < profile.shared_fraction:
             return self._sticky_pick(self._shared_word_list, for_write)
-        if self._rng.chance(profile.fresh_region_rate):
+        if self._chance(profile.fresh_region_rate):
             self._fresh_cursor += WORD_SIZE
             self._initialized_words.add(self._fresh_cursor)
             return self._fresh_cursor
-        if self._rng.chance(profile.stack_access_fraction):
+        if self._chance(profile.stack_access_fraction):
             address = self._choose_stack_address(for_write)
             if address is not None:
                 return address
-        if self._rng.chance(profile.locality):
+        if self._chance(profile.locality):
             if profile.parallel:
                 # Non-shared data is thread-private: each thread owns a
                 # partition of the hot set, so private re-references stay
@@ -341,7 +397,7 @@ class TraceGenerator:
                 partition = self._hot_words[self._thread :: profile.num_threads]
                 return self._sticky_pick(partition, for_write)
             return self._clustered_hot_pick()
-        if self._rng.chance(profile.stream_fraction):
+        if self._chance(profile.stream_fraction):
             thread = self._thread
             start, end = self._stream_slices[thread]
             cursor = self._stream_cursors[thread] + WORD_SIZE
@@ -359,7 +415,7 @@ class TraceGenerator:
         allocation = self._heap.random_live()
         if allocation is None:
             return self._clustered_hot_pick()
-        word = allocation.word_at(self._rng.randint(0, max(0, allocation.num_words - 1)))
+        word = allocation.word_at(self._randint(0, max(0, allocation.num_words - 1)))
         if not for_write and word not in self._initialized_words:
             # Reading it would be an uninitialised read; fall back to hot set.
             return self._clustered_hot_pick()
@@ -373,10 +429,10 @@ class TraceGenerator:
         real programs exhibit and the MD cache and M-TLB rely on.
         """
         count = len(self._hot_words)
-        if self._rng.chance(self.profile.page_locality):
-            self._hot_cursor = (self._hot_cursor + self._rng.randint(-24, 24)) % count
+        if self._chance(self.profile.page_locality):
+            self._hot_cursor = (self._hot_cursor + self._randint(-24, 24)) % count
         else:
-            self._hot_cursor = self._rng.randint(0, count - 1)
+            self._hot_cursor = self._randint(0, count - 1)
         return self._hot_words[self._hot_cursor]
 
     def _sticky_pick(self, words: List[int], for_write: bool) -> int:
@@ -390,13 +446,13 @@ class TraceGenerator:
         """
         count = len(words)
         if count < 4:
-            return self._rng.choice(words)
-        wants_write_word = for_write == self._rng.chance(0.98)
+            return self._choice(words)
+        wants_write_word = for_write == self._chance(0.98)
         for _ in range(6):
-            index = self._rng.randint(0, count - 1)
+            index = self._randint(0, count - 1)
             if (index % 4 == 3) == wants_write_word:
                 return words[index]
-        return self._rng.choice(words)
+        return self._choice(words)
 
     def _choose_stack_address(self, for_write: bool) -> Optional[int]:
         frame = self._stack.current_frame()
@@ -406,11 +462,11 @@ class TraceGenerator:
         if for_write or not written:
             if not for_write:
                 return None  # Nothing written yet; a read would be uninit.
-            word = frame.word_at(self._rng.randint(0, max(0, frame.num_words - 1)))
+            word = frame.word_at(self._randint(0, max(0, frame.num_words - 1)))
             if word not in written:
                 written.append(word)
             return word
-        return self._rng.choice(written)
+        return self._choice(written)
 
     # --- ground-truth metadata updates ---------------------------------------
 
@@ -447,15 +503,10 @@ class TraceGenerator:
             dest = self._pick_pointer_dest_register()
         else:
             dest = self._pick_data_register()
-        self._emit(
-            Instruction(
-                pc=self._next_pc(),
-                op_class=OpClass.LOAD,
-                sources=(Operand.memory(address),),
-                dest=Operand.register(dest),
-                thread=self._thread,
-                depends_on_prev=self._depends(),
-            )
+        pc = self._next_pc()
+        depends = self._depends()
+        self._emit_instruction(
+            pc, _OP_LOAD, _MEM, address, _NONE, 0, _REG, dest, depends
         )
         self._pointer_regs.discard(dest)
         self._tainted_regs.discard(dest)
@@ -470,23 +521,18 @@ class TraceGenerator:
         if self._in_init_burst:
             pointer_chance = min(1.0, pointer_chance * _BURST_POINTER_BOOST)
         src: Optional[int] = None
-        if self._rng.chance(pointer_chance):
+        if self._chance(pointer_chance):
             src = self._pick_pointer_register()
-        if src is None and self._rng.chance(profile.taint_alu_fraction):
+        if src is None and self._chance(profile.taint_alu_fraction):
             src = self._pick_tainted_register()
         if src is None:
             src = self._pick_clean_register()
         if address is None:
             address = self._choose_data_address(for_write=True)
-        self._emit(
-            Instruction(
-                pc=self._next_pc(),
-                op_class=OpClass.STORE,
-                sources=(Operand.register(src),),
-                dest=Operand.memory(address),
-                thread=self._thread,
-                depends_on_prev=self._depends(),
-            )
+        pc = self._next_pc()
+        depends = self._depends()
+        self._emit_instruction(
+            pc, _OP_STORE, _REG, src, _NONE, 0, _MEM, address, depends
         )
         self._initialized_words.add(address)
         self._set_word_pointer(address, src in self._pointer_regs)
@@ -499,11 +545,11 @@ class TraceGenerator:
     def _emit_alu(self, num_sources: int) -> None:
         profile = self.profile
         sources = []
-        if self._rng.chance(profile.pointer_alu_fraction):
+        if self._chance(profile.pointer_alu_fraction):
             pointer_reg = self._pick_pointer_register()
             if pointer_reg is not None:
                 sources.append(pointer_reg)
-        if self._rng.chance(profile.taint_alu_fraction):
+        if self._chance(profile.taint_alu_fraction):
             tainted_reg = self._pick_tainted_register()
             if tainted_reg is not None and len(sources) < num_sources:
                 sources.append(tainted_reg)
@@ -513,16 +559,17 @@ class TraceGenerator:
             dest = self._pick_pointer_dest_register()
         else:
             dest = self._pick_data_register()
-        self._emit(
-            Instruction(
-                pc=self._next_pc(),
-                op_class=OpClass.ALU,
-                sources=tuple(Operand.register(reg) for reg in sources[:num_sources]),
-                dest=Operand.register(dest),
-                thread=self._thread,
-                depends_on_prev=self._depends(),
+        sources = sources[:num_sources]
+        pc = self._next_pc()
+        depends = self._depends()
+        if len(sources) == 2:
+            self._emit_instruction(
+                pc, _OP_ALU, _REG, sources[0], _REG, sources[1], _REG, dest, depends
             )
-        )
+        else:
+            self._emit_instruction(
+                pc, _OP_ALU, _REG, sources[0], _NONE, 0, _REG, dest, depends
+            )
         is_pointer = any(reg in self._pointer_regs for reg in sources)
         is_tainted = any(reg in self._tainted_regs for reg in sources)
         self._pointer_regs.discard(dest)
@@ -533,7 +580,7 @@ class TraceGenerator:
             self._tainted_regs.add(dest)
 
     def _emit_move(self) -> None:
-        if self._rng.chance(self.profile.pointer_alu_fraction):
+        if self._chance(self.profile.pointer_alu_fraction):
             src = self._pick_pointer_register() or self._pick_clean_register()
         else:
             src = self._pick_clean_register()
@@ -541,15 +588,10 @@ class TraceGenerator:
             dest = self._pick_pointer_dest_register()
         else:
             dest = self._pick_data_register()
-        self._emit(
-            Instruction(
-                pc=self._next_pc(),
-                op_class=OpClass.MOVE,
-                sources=(Operand.register(src),),
-                dest=Operand.register(dest),
-                thread=self._thread,
-                depends_on_prev=self._depends(),
-            )
+        pc = self._next_pc()
+        depends = self._depends()
+        self._emit_instruction(
+            pc, _OP_MOVE, _REG, src, _NONE, 0, _REG, dest, depends
         )
         self._pointer_regs.discard(dest)
         self._tainted_regs.discard(dest)
@@ -562,42 +604,37 @@ class TraceGenerator:
         # FP operands live in the (untracked) floating-point register file;
         # no monitor observes FP instructions, and FP results never carry
         # pointers or taint, so the event has no destination to shadow.
-        num_sources = 2 if self._rng.chance(0.5) else 1
-        sources = tuple(
-            Operand.register(self._pick_register()) for _ in range(num_sources)
-        )
-        self._emit(
-            Instruction(
-                pc=self._next_pc(),
-                op_class=OpClass.FP,
-                sources=sources,
-                thread=self._thread,
-                depends_on_prev=self._depends(),
-            )
+        num_sources = 2 if self._chance(0.5) else 1
+        src1 = self._pick_register()
+        src2 = self._pick_register() if num_sources == 2 else 0
+        pc = self._next_pc()
+        depends = self._depends()
+        self._emit_instruction(
+            pc,
+            _OP_FP,
+            _REG,
+            src1,
+            _REG if num_sources == 2 else _NONE,
+            src2,
+            _NONE,
+            0,
+            depends,
         )
 
     def _emit_branch(self) -> None:
         # Clean programs never branch through tainted or undefined data;
         # buggy traces (workload.bugs) construct those flows explicitly.
         src = self._pick_clean_register()
-        self._emit(
-            Instruction(
-                pc=self._next_pc(),
-                op_class=OpClass.BRANCH,
-                sources=(Operand.register(src),),
-                thread=self._thread,
-                depends_on_prev=self._depends(),
-            )
+        pc = self._next_pc()
+        depends = self._depends()
+        self._emit_instruction(
+            pc, _OP_BRANCH, _REG, src, _NONE, 0, _NONE, 0, depends
         )
 
     def _emit_nop(self) -> None:
-        self._emit(
-            Instruction(
-                pc=self._next_pc(),
-                op_class=OpClass.NOP,
-                thread=self._thread,
-                depends_on_prev=False,
-            )
+        pc = self._next_pc()
+        self._emit_instruction(
+            pc, _OP_NOP, _NONE, 0, _NONE, 0, _NONE, 0, False
         )
 
     # --- structural emitters ------------------------------------------------------
@@ -608,15 +645,19 @@ class TraceGenerator:
             self._rng.pareto_int(self.profile.frame_size_mean // 2, shape=2.0),
         )
         frame = self._stack.call(size)
-        self._emit(
-            Instruction(
-                pc=self._next_pc(),
-                op_class=OpClass.CALL,
-                frame_base=frame.base,
-                frame_size=frame.size,
-                thread=self._thread,
-                depends_on_prev=False,
-            )
+        pc = self._next_pc()
+        self._emit_instruction(
+            pc,
+            _OP_CALL,
+            _NONE,
+            0,
+            _NONE,
+            0,
+            _NONE,
+            0,
+            False,
+            frame_base=frame.base,
+            frame_size=frame.size,
         )
 
     def _do_return(self) -> None:
@@ -629,15 +670,19 @@ class TraceGenerator:
             self._set_word_pointer(word, False)
             self._set_word_tainted(word, False)
             self._initialized_words.discard(word)
-        self._emit(
-            Instruction(
-                pc=self._next_pc(),
-                op_class=OpClass.RETURN,
-                frame_base=frame.base,
-                frame_size=frame.size,
-                thread=self._thread,
-                depends_on_prev=False,
-            )
+        pc = self._next_pc()
+        self._emit_instruction(
+            pc,
+            _OP_RETURN,
+            _NONE,
+            0,
+            _NONE,
+            0,
+            _NONE,
+            0,
+            False,
+            frame_base=frame.base,
+            frame_size=frame.size,
         )
 
     def _do_malloc(self) -> None:
@@ -647,29 +692,23 @@ class TraceGenerator:
         )
         allocation = self._heap.malloc(size)
         dest = self._pick_pointer_dest_register()
-        self._emit(
-            HighLevelEvent(
-                kind=HighLevelKind.MALLOC,
-                address=allocation.base,
-                size=allocation.size,
-                register=dest,
-                thread=self._thread,
-            )
+        self._add_hl(
+            _HL_MALLOC, allocation.base, allocation.size, dest, self._thread, False
         )
         self._pointer_regs.add(dest)
         self._tainted_regs.discard(dest)
         init_words = int(allocation.num_words * self.profile.init_burst_fraction)
         for index in range(init_words):
             self._pending_init.append(allocation.base + index * WORD_SIZE)
-        if self._rng.chance(self.profile.taint_source_fraction):
+        if self._chance(self.profile.taint_source_fraction):
             tainted_bytes = allocation.size
-            self._emit(
-                HighLevelEvent(
-                    kind=HighLevelKind.TAINT_SOURCE,
-                    address=allocation.base,
-                    size=tainted_bytes,
-                    thread=self._thread,
-                )
+            self._add_hl(
+                _HL_TAINT_SOURCE,
+                allocation.base,
+                tainted_bytes,
+                0,
+                self._thread,
+                False,
             )
             for index in range(allocation.num_words):
                 word = allocation.base + index * WORD_SIZE
@@ -678,18 +717,13 @@ class TraceGenerator:
 
     def _do_buffer_taint_source(self) -> None:
         """External input (read/recv) lands in a span of the global segment."""
-        span_words = self._rng.randint(16, 64)
-        start_index = self._rng.randint(
+        span_words = self._randint(16, 64)
+        start_index = self._randint(
             0, max(0, len(self._hot_words) - span_words - 1)
         )
         base = self._hot_words[start_index]
-        self._emit(
-            HighLevelEvent(
-                kind=HighLevelKind.TAINT_SOURCE,
-                address=base,
-                size=span_words * WORD_SIZE,
-                thread=self._thread,
-            )
+        self._add_hl(
+            _HL_TAINT_SOURCE, base, span_words * WORD_SIZE, 0, self._thread, False
         )
         for index in range(span_words):
             word = base + index * WORD_SIZE
@@ -713,18 +747,13 @@ class TraceGenerator:
             self._set_word_pointer(word, False)
             self._set_word_tainted(word, False)
             self._initialized_words.discard(word)
-        self._emit(
-            HighLevelEvent(
-                kind=HighLevelKind.FREE,
-                address=allocation.base,
-                size=allocation.size,
-                thread=self._thread,
-            )
+        self._add_hl(
+            _HL_FREE, allocation.base, allocation.size, 0, self._thread, False
         )
 
 
 def generate_trace(
     profile: BenchmarkProfile, num_instructions: int, seed: int = 0
-) -> Trace:
+) -> PackedTrace:
     """Convenience wrapper: build a generator and produce one trace."""
     return TraceGenerator(profile, seed=seed).generate(num_instructions)

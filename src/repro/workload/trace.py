@@ -12,7 +12,7 @@ from __future__ import annotations
 import dataclasses
 import enum
 import json
-from typing import Iterable, Iterator, List, Union
+from typing import Iterable, Iterator, List, Optional, Union
 
 from repro.isa.instruction import Instruction, Operand, OperandKind
 from repro.isa.opcodes import OpClass
@@ -31,7 +31,7 @@ class HighLevelKind(enum.Enum):
     PROGRAM_EXIT = "program_exit"
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class HighLevelEvent:
     """A non-instruction event delivered straight to the monitor.
 
@@ -92,6 +92,19 @@ class Trace:
     @property
     def num_instructions(self) -> int:
         return sum(1 for _ in self.instructions())
+
+    def count_instructions(self, start: int = 0, stop: Optional[int] = None) -> int:
+        """Number of instructions among items ``[start, stop)``.
+
+        :class:`~repro.workload.packed.PackedTrace` overrides this with a
+        column scan; the object representation counts the slice."""
+        if stop is None:
+            stop = len(self.items)
+        return sum(
+            1
+            for index in range(start, stop)
+            if isinstance(self.items[index], Instruction)
+        )
 
     def extend(self, items: Iterable[TraceItem]) -> None:
         self.items.extend(items)

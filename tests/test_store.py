@@ -1,0 +1,262 @@
+"""The content-addressed ResultStore and the runner paths around it:
+store hits are bit-identical to recomputation, keys invalidate on any input
+change, and serial / parallel / warm-store execution of the same grid agree
+byte for byte.
+"""
+
+import dataclasses
+import json
+import warnings
+
+import pytest
+
+from repro import cli
+from repro.api import (
+    ExperimentSettings,
+    ParallelRunner,
+    ResultStore,
+    SerialRunner,
+    register_monitor,
+    register_profile,
+    run_specs,
+    spec_grid,
+)
+from repro.api import runner as runner_module
+from repro.monitors import MONITOR_REGISTRY
+from repro.monitors.memleak import MemLeak
+from repro.system.config import SystemConfig
+from repro.workload.profiles import PROFILE_REGISTRY, get_profile
+
+TINY = ExperimentSettings(num_instructions=1500, seed=11)
+
+GRID = spec_grid(
+    ["astar", "mcf"],
+    ["memleak", "addrcheck"],
+    [SystemConfig(), SystemConfig(fade_enabled=False)],
+    TINY,
+)
+
+
+class TestResultStore:
+    def test_hit_is_bit_identical_to_recompute(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        cold = SerialRunner(store=store).run(GRID)
+        assert store.hits == 0 and store.misses == len(GRID)
+
+        warm_store = ResultStore(tmp_path / "cache")
+        warm = SerialRunner(store=warm_store).run(GRID)
+        assert warm_store.hits == len(GRID) and warm_store.misses == 0
+
+        plain = SerialRunner().run(GRID)
+        assert cold.to_dict() == warm.to_dict() == plain.to_dict()
+
+    def test_key_changes_on_every_spec_axis(self, tmp_path):
+        store = ResultStore(tmp_path)
+        base = GRID[0]
+        variants = [
+            base.replace(benchmark="mcf"),
+            base.replace(monitor="addrcheck"),
+            base.replace(config=SystemConfig(fade_enabled=False)),
+            base.replace(settings=TINY.scaled(2.0)),
+        ]
+        keys = {store.key(spec) for spec in [base] + variants}
+        assert len(keys) == len(variants) + 1
+
+    def test_profile_replacement_invalidates(self, tmp_path):
+        store = ResultStore(tmp_path)
+        base = get_profile("astar")
+        register_profile(dataclasses.replace(base, name="storemut"))
+        try:
+            spec = GRID[0].replace(benchmark="storemut")
+            before = store.key(spec)
+            register_profile(
+                dataclasses.replace(base, name="storemut", locality=0.5),
+                replace=True,
+            )
+            assert store.key(spec) != before
+        finally:
+            PROFILE_REGISTRY.unregister("storemut")
+
+    def test_monitor_replacement_invalidates(self, tmp_path):
+        store = ResultStore(tmp_path)
+
+        class OtherLeak(MemLeak):
+            pass
+
+        register_monitor("storeleak", MemLeak)
+        try:
+            spec = GRID[0].replace(monitor="storeleak")
+            before = store.key(spec)
+            register_monitor("storeleak", OtherLeak, replace=True)
+            assert store.key(spec) != before
+        finally:
+            MONITOR_REGISTRY.unregister("storeleak")
+
+    def test_trace_schema_version_invalidates(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path)
+        before = store.key(GRID[0])
+        monkeypatch.setattr("repro.api.store.TRACE_SCHEMA_VERSION", 999)
+        assert store.key(GRID[0]) != before
+
+    def test_corrupt_entry_is_a_miss_and_recomputed(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = GRID[0]
+        result = SerialRunner(store=store).run_one(spec)
+        entry = store._entry_path(store.key(spec))
+        entry.write_text("{ truncated garbage")
+        reread = store.get(spec)
+        assert reread is None
+        assert not entry.exists()  # Corrupt entry dropped.
+        again = SerialRunner(store=store).run_one(spec)
+        assert again.to_dict() == result.to_dict()
+
+    def test_stats_and_clear(self, tmp_path):
+        store = ResultStore(tmp_path)
+        SerialRunner(store=store).run(GRID[:2])
+        stats = store.stats()
+        assert stats["entries"] == 2 and stats["bytes"] > 0
+        assert len(store) == 2
+        assert store.clear() == 2
+        assert len(store) == 0
+
+    def test_run_specs_accepts_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        first = run_specs(GRID[:2], store=store)
+        second = run_specs(GRID[:2], store=ResultStore(tmp_path))
+        assert first.to_dict() == second.to_dict()
+
+    def test_run_specs_never_mutates_the_callers_runner(self, tmp_path):
+        runner = SerialRunner()
+        run_specs(GRID[:1], runner=runner, store=ResultStore(tmp_path))
+        assert runner.store is None  # Store was scoped to that call only.
+
+    def test_run_specs_serial_uses_default_runner(self):
+        from repro.api import default_runner, set_default_runner
+
+        class MarkerRunner(SerialRunner):
+            pass
+
+        marker = MarkerRunner()
+        set_default_runner(marker)
+        try:
+            run_specs(GRID[:1])
+            assert default_runner() is marker  # Override honoured, untouched.
+            assert marker.cache.stats()["traces"] > 0  # It did the run.
+        finally:
+            set_default_runner(None)
+
+
+class TestCrossProcessDeterminism:
+    def test_serial_parallel_and_warm_store_agree(self, tmp_path):
+        """The satellite guarantee: SerialRunner, ParallelRunner (fork pool,
+        shared-memory traces) and a warm ResultStore produce identical
+        ResultSet JSON for the same specs."""
+        serial = SerialRunner().run(GRID)
+        parallel = ParallelRunner(jobs=2).run(GRID)
+
+        store = ResultStore(tmp_path / "cache")
+        SerialRunner(store=store).run(GRID)  # Populate.
+        warm_store = ResultStore(tmp_path / "cache")
+        warmed = ParallelRunner(jobs=2, store=warm_store).run(GRID)
+        assert warm_store.hits == len(GRID)
+
+        reference = json.dumps(serial.to_dict(), sort_keys=True)
+        assert json.dumps(parallel.to_dict(), sort_keys=True) == reference
+        assert json.dumps(warmed.to_dict(), sort_keys=True) == reference
+
+    def test_parallel_without_trace_sharing_matches(self):
+        plain = ParallelRunner(jobs=2, share_traces=False).run(GRID)
+        shared = ParallelRunner(jobs=2, share_traces=True).run(GRID)
+        assert plain.to_dict() == shared.to_dict()
+
+    def test_pickle_fallback_when_shared_memory_unavailable(self, monkeypatch):
+        """When segment creation fails, packed traces travel pickled in the
+        chunk payloads (workers never regenerate) with identical results."""
+        monkeypatch.setattr(
+            runner_module.SharedTraceArena, "share", lambda self, trace: None
+        )
+        fallback = ParallelRunner(jobs=2).run(GRID)
+        assert fallback.to_dict() == SerialRunner().run(GRID).to_dict()
+
+
+class TestChunkingHeuristic:
+    def test_tiny_grid_runs_serially(self, monkeypatch):
+        """Grids smaller than the worker count never pay pool startup."""
+
+        def exploding_pool(*args, **kwargs):
+            raise AssertionError("tiny grid must not create a process pool")
+
+        monkeypatch.setattr(
+            runner_module, "ProcessPoolExecutor", exploding_pool
+        )
+        runner = ParallelRunner(jobs=8)
+        results = runner.run(GRID[:3])  # 3 specs < 8 jobs.
+        assert results.to_dict() == SerialRunner().run(GRID[:3]).to_dict()
+
+    def test_large_grid_still_uses_the_pool(self, monkeypatch):
+        used = {"pool": False}
+        real_pool = runner_module.ProcessPoolExecutor
+
+        def counting_pool(*args, **kwargs):
+            used["pool"] = True
+            return real_pool(*args, **kwargs)
+
+        monkeypatch.setattr(runner_module, "ProcessPoolExecutor", counting_pool)
+        ParallelRunner(jobs=2).run(GRID)
+        assert used["pool"]
+
+
+class TestSpawnWarning:
+    def test_warns_once_when_fork_unavailable(self, monkeypatch):
+        real_get_context = runner_module.multiprocessing.get_context
+
+        def no_fork(method=None):
+            if method == "fork":
+                raise ValueError("fork not supported here")
+            return real_get_context(method)
+
+        monkeypatch.setattr(
+            runner_module.multiprocessing, "get_context", no_fork
+        )
+        monkeypatch.setattr(runner_module, "_SPAWN_WARNING_EMITTED", False)
+        runner = ParallelRunner(jobs=2)
+        with pytest.warns(RuntimeWarning, match="register_monitor"):
+            first = runner.run(GRID)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            second = runner.run(GRID)  # One-time: no second warning.
+        assert first.to_dict() == second.to_dict()
+
+
+class TestCliCache:
+    def test_result_cache_flag_and_cache_command(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cli-cache"
+        assert cli.main(
+            ["table2", "-n", "1000", "--result-cache", str(cache_dir)]
+        ) == 0
+        first = capsys.readouterr().out
+        assert cli.main(["cache", "stats", "--result-cache", str(cache_dir)]) == 0
+        stats_out = capsys.readouterr().out
+        assert "entries: " in stats_out and "entries: 0" not in stats_out
+        # Warm re-run prints the identical table.
+        assert cli.main(
+            ["table2", "-n", "1000", "--result-cache", str(cache_dir)]
+        ) == 0
+        assert capsys.readouterr().out == first
+        assert cli.main(["cache", "clear", "--result-cache", str(cache_dir)]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert cli.main(["cache", "stats", "--result-cache", str(cache_dir)]) == 0
+        assert "entries: 0" in capsys.readouterr().out
+
+    def test_cache_env_var_default(self, tmp_path, monkeypatch, capsys):
+        cache_dir = tmp_path / "env-cache"
+        monkeypatch.setenv("REPRO_RESULT_CACHE", str(cache_dir))
+        assert cli.main(["run", "-n", "1200"]) == 0
+        capsys.readouterr()
+        assert cli.main(["cache", "stats"]) == 0
+        assert "entries: 1" in capsys.readouterr().out
+
+    def test_cache_command_without_path_errors(self, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_RESULT_CACHE", raising=False)
+        assert cli.main(["cache", "stats"]) == 1
+        assert "result-cache" in capsys.readouterr().err
