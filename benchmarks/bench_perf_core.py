@@ -27,12 +27,20 @@ Environment knobs:
   counts (default 2, damping scheduler noise).
 * ``REPRO_BENCH_PERF_MIN_SPEEDUP`` — fail below this event/naive wall-clock
   ratio (default 1.0: the event engine must never be slower).
+* ``REPRO_BENCH_PERF_MIN_FADE_SPEEDUP`` — fail below this event/naive
+  engine-loop ratio on the FADE-active split (default 1.0).
 * ``REPRO_BENCH_PROFILE`` — cProfile the timed region (top-20 cumulative).
+
+The ``fade_active`` payload section isolates the engine loop on the
+FADE-accelerated half of the grid (warmup untimed), where burst draining
+and the filter memo concentrate, and records the fused-run-length
+distribution plus memo hit rates alongside the cycles/sec comparison.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import gc
 import json
 import os
 import pathlib
@@ -49,8 +57,10 @@ from repro.analysis import ExperimentSettings
 from repro.analysis.experiments import benchmarks_for
 from repro.api import ResultStore, RunSpec, SerialRunner
 from repro.cores.base import CoreType
-from repro.monitors import MONITOR_NAMES
+from repro.monitors import MONITOR_NAMES, create_monitor
 from repro.system import SystemConfig
+from repro.system.simulator import MonitoringSimulation, fusion_stats
+from repro.workload import get_profile
 
 BENCH_JSON = _ROOT / "BENCH_perf.json"
 
@@ -79,6 +89,110 @@ def _inorder_specs(engine: str, settings: ExperimentSettings) -> list:
         for monitor in MONITOR_NAMES
         for benchmark in benchmarks_for(monitor)
     ]
+
+
+def _measure_fade_active(settings: ExperimentSettings, rounds: int) -> dict:
+    """Event-vs-naive engine timing on the FADE-accelerated half of the
+    fig9 grid — the cells burst draining and the filter memo accelerate.
+
+    Traces, schedules and plans come from a shared cache and the functional
+    warmup runs untimed, so ``cycles_per_sec`` measures the simulation
+    engine loop itself.  Alongside the timings the payload records the
+    fused-run-length distribution and the filter-memo hit rates of the
+    event engine (both diagnostic: results are bit-identical either way,
+    which is re-checked here).
+    """
+    runner = SerialRunner()
+    cells = [
+        (monitor, benchmark)
+        for monitor in MONITOR_NAMES
+        for benchmark in benchmarks_for(monitor)
+    ]
+    core = SystemConfig().core_type
+    for monitor, benchmark in cells:
+        runner.cache.trace(benchmark, settings)
+        runner.cache.schedule(benchmark, settings, core)
+        runner.cache.plan(benchmark, settings, monitor)
+
+    best = {"naive": float("inf"), "event": float("inf")}
+    outputs = {}
+    cycles = {}
+    memo = {"gen_hits": 0, "value_hits": 0, "misses": 0}
+    fusion_stats.reset()
+    # Rounds interleave the engines A/B so machine drift hits both alike.
+    for round_index in range(max(1, rounds)):
+        for engine in ("naive", "event"):
+            sims = []
+            for monitor_name, benchmark in cells:
+                trace = runner.cache.trace(benchmark, settings)
+                sim = MonitoringSimulation(
+                    trace,
+                    create_monitor(monitor_name),
+                    SystemConfig(
+                        fade_enabled=True, non_blocking=True, engine=engine
+                    ),
+                    get_profile(benchmark),
+                    warmup_items=int(len(trace.items) * 0.5),
+                    schedule=runner.cache.schedule(benchmark, settings, core),
+                    plan=runner.cache.plan(benchmark, settings, monitor_name),
+                )
+                sim._run_warmup()
+                sims.append(sim)
+            gc.collect()
+            start = time.perf_counter()
+            if engine == "naive":
+                for sim in sims:
+                    sim._run_naive()
+            else:
+                for sim in sims:
+                    sim._run_event()
+            best[engine] = min(best[engine], time.perf_counter() - start)
+            results = [sim._finalize() for sim in sims]
+            cycles[engine] = sum(result.cycles for result in results)
+            outputs[engine] = [result.to_dict() for result in results]
+            if engine == "event" and round_index == 0:
+                for sim in sims:
+                    pipeline = sim.fade.pipeline
+                    memo["gen_hits"] += pipeline.memo_hits
+                    memo["value_hits"] += pipeline.memo_value_hits
+                    memo["misses"] += pipeline.memo_misses
+    engines = {
+        engine: {
+            "seconds": best[engine],
+            "cells": len(cells),
+            "cells_per_sec": len(cells) / best[engine],
+            "cycles_simulated": cycles[engine],
+            "cycles_per_sec": cycles[engine] / best[engine],
+        }
+        for engine in ("naive", "event")
+    }
+    lookups = memo["gen_hits"] + memo["value_hits"] + memo["misses"]
+    run_lengths = fusion_stats.run_lengths
+    total_runs = max(1, fusion_stats.runs)
+    return {
+        "cells": len(cells),
+        "engines": engines,
+        "speedup_event_vs_naive": (
+            engines["naive"]["seconds"] / engines["event"]["seconds"]
+        ),
+        "bit_identical": outputs["naive"] == outputs["event"],
+        "filter_memo": {
+            **memo,
+            "hit_rate": (
+                (memo["gen_hits"] + memo["value_hits"]) / lookups
+                if lookups
+                else 0.0
+            ),
+        },
+        "fused_runs": fusion_stats.runs,
+        "fused_events": fusion_stats.fused_events,
+        "fused_cycles": fusion_stats.fused_cycles,
+        "fused_run_length_mean": fusion_stats.fused_events / total_runs,
+        "fused_run_length_distribution": {
+            str(length): count
+            for length, count in sorted(run_lengths.items())
+        },
+    }
 
 
 def _measure_functional_split(settings: ExperimentSettings) -> dict:
@@ -187,6 +301,7 @@ def run_perf_core(num_instructions: int = 0, rounds: int = 0) -> dict:
 
     fig9 = measure(_fig9_specs, "fig9")
     inorder = measure(_inorder_specs, "inorder-unaccel")
+    fade_active = _measure_fade_active(settings, rounds)
     payload = {
         "bench": "perf_core",
         "grid": "fig9",
@@ -198,8 +313,10 @@ def run_perf_core(num_instructions: int = 0, rounds: int = 0) -> dict:
             fig9["bit_identical"]
             and inorder["bit_identical"]
             and store["bit_identical"]
+            and fade_active["bit_identical"]
         ),
         "inorder_unaccelerated": inorder,
+        "fade_active": fade_active,
         "functional": functional,
         "result_store": store,
     }
@@ -214,6 +331,10 @@ def test_perf_core_event_engine():
     assert payload["bit_identical"], "engines disagree on the fig9 grid"
     minimum = float(os.environ.get("REPRO_BENCH_PERF_MIN_SPEEDUP", "1.0"))
     assert payload["speedup_event_vs_naive"] >= minimum
+    fade_minimum = float(
+        os.environ.get("REPRO_BENCH_PERF_MIN_FADE_SPEEDUP", "1.0")
+    )
+    assert payload["fade_active"]["speedup_event_vs_naive"] >= fade_minimum
 
 
 def main() -> int:
@@ -231,10 +352,25 @@ def main() -> int:
             file=sys.stderr,
         )
         return 1
+    fade = payload["fade_active"]
+    fade_minimum = float(
+        os.environ.get("REPRO_BENCH_PERF_MIN_FADE_SPEEDUP", "1.0")
+    )
+    if fade["speedup_event_vs_naive"] < fade_minimum:
+        print(
+            f"FAIL: fade-active engine speedup "
+            f"{fade['speedup_event_vs_naive']:.2f}x below minimum "
+            f"{fade_minimum:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
     functional = payload["functional"]
     store = payload["result_store"]
     print(
-        f"[BENCH_perf.json written: event engine {speedup:.2f}x vs naive; "
+        f"[BENCH_perf.json written: event engine {speedup:.2f}x vs naive "
+        f"(fade-active {fade['speedup_event_vs_naive']:.2f}x, "
+        f"memo hit rate {100 * fade['filter_memo']['hit_rate']:.0f}%, "
+        f"mean fused run {fade['fused_run_length_mean']:.1f} events); "
         f"cold grid {functional['cold_total_seconds']:.2f}s "
         f"({100 * functional['functional_fraction']:.0f}% functional); "
         f"warm result-store rerun {store['warm_speedup']:.0f}x]"

@@ -7,8 +7,10 @@ Usage::
         [--max-regression 0.10]
 
 Compares ``cycles_per_sec`` (simulated cycles per wall second) for every
-engine present in both payloads.  Exits non-zero when the fresh run is more
-than ``--max-regression`` (default 10%) below the baseline.  Absolute
+engine present in both payloads — for the main fig9 grid and, when both
+payloads carry it, the ``fade_active`` engine-loop split.  Exits non-zero
+when the fresh run is more than ``--max-regression`` (default 10%) below
+the baseline.  Absolute
 throughput is machine-specific, so the two payloads should come from the
 same machine — CI re-measures the base commit on the runner before
 diffing.
@@ -41,22 +43,31 @@ def compare(baseline: dict, fresh: dict, max_regression: float) -> int:
         return 0
     floor = 1.0 - max_regression
     failures = []
-    for engine, base_stats in baseline.get("engines", {}).items():
-        fresh_stats = fresh.get("engines", {}).get(engine)
-        if fresh_stats is None:
-            continue
-        base_rate = base_stats.get("cycles_per_sec", 0.0)
-        fresh_rate = fresh_stats.get("cycles_per_sec", 0.0)
-        if base_rate <= 0:
-            continue
-        ratio = fresh_rate / base_rate
-        status = "ok" if ratio >= floor else "REGRESSION"
-        print(
-            f"{engine}: cycles/sec {fresh_rate:,.0f} vs baseline "
-            f"{base_rate:,.0f} ({100 * ratio:.1f}%) {status}"
+    sections = [("", baseline, fresh)]
+    if "fade_active" in baseline and "fade_active" in fresh:
+        # The FADE-active engine-loop split is gated exactly like the main
+        # grid: its cycles/sec is the headline number burst draining and
+        # the filter memo are responsible for.
+        sections.append(
+            ("fade_active.", baseline["fade_active"], fresh["fade_active"])
         )
-        if ratio < floor:
-            failures.append(engine)
+    for prefix, base_section, fresh_section in sections:
+        for engine, base_stats in base_section.get("engines", {}).items():
+            fresh_stats = fresh_section.get("engines", {}).get(engine)
+            if fresh_stats is None:
+                continue
+            base_rate = base_stats.get("cycles_per_sec", 0.0)
+            fresh_rate = fresh_stats.get("cycles_per_sec", 0.0)
+            if base_rate <= 0:
+                continue
+            ratio = fresh_rate / base_rate
+            status = "ok" if ratio >= floor else "REGRESSION"
+            print(
+                f"{prefix}{engine}: cycles/sec {fresh_rate:,.0f} vs baseline "
+                f"{base_rate:,.0f} ({100 * ratio:.1f}%) {status}"
+            )
+            if ratio < floor:
+                failures.append(f"{prefix}{engine}")
     base_store = baseline.get("result_store", {})
     fresh_store = fresh.get("result_store", {})
     if base_store.get("warm_speedup") and fresh_store.get("warm_speedup"):

@@ -26,11 +26,19 @@ from repro.metadata.shadow import ShadowMemory, ShadowRegisters
 
 @dataclasses.dataclass(frozen=True)
 class FadeConfig:
-    """Accelerator configuration (Section 6 defaults)."""
+    """Accelerator configuration (Section 6 defaults).
+
+    ``filter_memo`` enables the pipeline's generation-keyed memo of filtered
+    outcomes — a pure software-speed optimisation with bit-identical
+    results.  The simulator disables it for the naive reference engine (so
+    engine-equivalence tests compare memoized against truly inline walks)
+    and for monitors that declare ``filter_memo_safe = False``.
+    """
 
     non_blocking: bool = True
     fsq_capacity: int = 16
     md_cache: MetadataCacheConfig = MetadataCacheConfig()
+    filter_memo: bool = True
 
 
 @dataclasses.dataclass
@@ -97,6 +105,7 @@ class Fade:
             md_cache=self.md_cache,
             fsq=self.fsq,
             non_blocking=config.non_blocking,
+            memo_enabled=config.filter_memo,
         )
         self.suu: Optional[StackUpdateUnit] = None
         if program.uses_suu:

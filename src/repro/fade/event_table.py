@@ -184,12 +184,16 @@ class EventTable:
         self.size = size
         self._entries: Dict[int, EventTableEntry] = {}
         self._chain_cache: Dict[int, Tuple[Tuple[int, EventTableEntry], ...]] = {}
+        #: Bumped on every reprogramming; the filter memo keys cached chain
+        #: walks on it so run-time table writes invalidate them.
+        self.generation = 0
 
     def program(self, index: int, entry: EventTableEntry) -> None:
         if not 0 <= index < self.size:
             raise ProgrammingError(f"event table index {index} out of range")
         self._entries[index] = entry
         self._chain_cache.clear()  # Chains may now resolve differently.
+        self.generation += 1
 
     def lookup(self, index: int) -> Optional[EventTableEntry]:
         """Entry for an event ID; None means the event has no rules

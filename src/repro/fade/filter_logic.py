@@ -10,21 +10,20 @@ Figure 7), which here is the ``previous_outcome`` argument.
 
 from __future__ import annotations
 
-import dataclasses
-from typing import Optional
+from typing import NamedTuple, Optional
 
 from repro.fade.event_table import EventTableEntry, OperandRule, RuKind
 from repro.fade.inv_rf import InvariantRegisterFile
 
 
-@dataclasses.dataclass(frozen=True)
-class OperandMetadata:
+class OperandMetadata(NamedTuple):
     """Metadata bytes of the three event operands as read in Metadata Read.
 
     ``None`` means the operand is not present for this event (the entry's
     valid bit should then be clear; a programmed-valid operand that is
     missing at run time fails its check, making the event unfilterable —
-    hardware never guesses).
+    hardware never guesses).  A NamedTuple: one is built per chain entry
+    per event on the filtering hot path.
     """
 
     s1: Optional[int] = None

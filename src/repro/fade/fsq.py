@@ -7,13 +7,20 @@ the FSQ in parallel with the MD cache and the newest matching entry wins.
 When the software handler of the owning event completes — having written the
 full (critical + non-critical) metadata through the regular path — the FSQ
 entry is discarded (Section 5.2).
+
+The software model indexes the (at most 16-entry) queue two ways so both
+hot operations are O(1) amortized instead of linear scans:
+
+* ``lookup`` reads the top of a per-word value stack (newest entry last,
+  exactly the reversed-scan winner of the associative search);
+* ``release`` walks a per-owner entry list and unlinks each entry from its
+  word stack, instead of rebuilding the whole queue.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from collections import deque
-from typing import Deque, Optional
+from typing import Dict, List, Optional
 
 from repro.common.errors import ConfigurationError
 
@@ -34,40 +41,93 @@ class FilterStoreQueue:
         if capacity <= 0:
             raise ConfigurationError("FSQ capacity must be positive")
         self.capacity = capacity
-        self._entries: Deque[FsqEntry] = deque()
+        #: Per-word stacks of live entries, insertion order (newest last).
+        self._by_word: Dict[int, List[FsqEntry]] = {}
+        #: Per-owner lists of live entries (the ``release`` index).
+        self._by_owner: Dict[int, List[FsqEntry]] = {}
+        self._size = 0
         self.inserts = 0
         self.hits = 0
         self.max_occupancy = 0
+        #: Bumped on every content change (insert / non-empty release /
+        #: clear); the filter memo keys cached forwarding decisions on it.
+        self.generation = 0
+        #: Per-word change counters (absent word == generation 0; never
+        #: removed).  The filter memo reads the dict directly, so cached
+        #: decisions for one word survive traffic on every other word.
+        self.word_generations: Dict[int, int] = {}
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return self._size
 
     @property
     def is_full(self) -> bool:
-        return len(self._entries) >= self.capacity
+        return self._size >= self.capacity
 
     def insert(self, word_address: int, value: int, owner_sequence: int) -> None:
         """Allocate an entry (the caller must have checked capacity)."""
-        if self.is_full:
+        if self._size >= self.capacity:
             raise ConfigurationError("FSQ overflow — caller must stall on full")
-        self._entries.append(FsqEntry(word_address, value, owner_sequence))
+        entry = FsqEntry(word_address, value, owner_sequence)
+        stack = self._by_word.get(word_address)
+        if stack is None:
+            self._by_word[word_address] = [entry]
+        else:
+            stack.append(entry)
+        owned = self._by_owner.get(owner_sequence)
+        if owned is None:
+            self._by_owner[owner_sequence] = [entry]
+        else:
+            owned.append(entry)
+        self._size += 1
         self.inserts += 1
-        self.max_occupancy = max(self.max_occupancy, len(self._entries))
+        if self._size > self.max_occupancy:
+            self.max_occupancy = self._size
+        self.generation += 1
+        generations = self.word_generations
+        generations[word_address] = generations.get(word_address, 0) + 1
 
     def lookup(self, word_address: int) -> Optional[int]:
         """Newest value for a word, or None (then the MD cache value is used)."""
-        for entry in reversed(self._entries):
-            if entry.word_address == word_address:
-                self.hits += 1
-                return entry.value
+        stack = self._by_word.get(word_address)
+        if stack:
+            self.hits += 1
+            return stack[-1].value
         return None
+
+    def peek(self, word_address: int) -> Optional[int]:
+        """Like :meth:`lookup` but without hit accounting (memo building)."""
+        stack = self._by_word.get(word_address)
+        return stack[-1].value if stack else None
 
     def release(self, owner_sequence: int) -> int:
         """Discard entries owned by a completed handler; returns the count."""
-        kept = [e for e in self._entries if e.owner_sequence != owner_sequence]
-        released = len(self._entries) - len(kept)
-        self._entries = deque(kept)
+        owned = self._by_owner.pop(owner_sequence, None)
+        if not owned:
+            return 0
+        by_word = self._by_word
+        generations = self.word_generations
+        for entry in owned:
+            word = entry.word_address
+            stack = by_word[word]
+            if len(stack) == 1:
+                del by_word[word]
+            else:
+                # Entries are value-equal only when interchangeable, so
+                # removing the first match preserves stack contents exactly.
+                stack.remove(entry)
+            generations[word] = generations.get(word, 0) + 1
+        released = len(owned)
+        self._size -= released
+        self.generation += 1
         return released
 
     def clear(self) -> None:
-        self._entries.clear()
+        if self._size:
+            self.generation += 1
+            generations = self.word_generations
+            for word in self._by_word:
+                generations[word] = generations.get(word, 0) + 1
+        self._by_word.clear()
+        self._by_owner.clear()
+        self._size = 0

@@ -28,6 +28,9 @@ class InvariantRegisterFile:
         self.size = size
         self._values: List[int] = [0] * size
         self.writes = 0  # Reprogramming count (AtomCheck thread switches).
+        #: Bumped on every value-changing write; the filter memo keys cached
+        #: clean-check outcomes on it (same-value reprogramming is free).
+        self.generation = 0
 
     def read(self, index: int) -> int:
         if not 0 <= index < self.size:
@@ -39,7 +42,9 @@ class InvariantRegisterFile:
             raise ProgrammingError(f"INV id {index} out of range 0..{self.size - 1}")
         if not 0 <= value <= 0xFF:
             raise ProgrammingError("invariant values are one metadata byte")
-        self._values[index] = value
+        if self._values[index] != value:
+            self._values[index] = value
+            self.generation += 1
         self.writes += 1
 
     def load(self, values) -> None:

@@ -79,6 +79,50 @@ class MetadataCache:
         cycles = self.config.hit_latency if hit else self.config.miss_latency
         return MetadataAccess(hit=hit, cycles=cycles, tlb_miss=not tlb_hit)
 
+    def access_cycles(self, app_address: int) -> "tuple[int, bool]":
+        """``(cycles, tlb_miss)`` of one access, without the
+        :class:`MetadataAccess` wrapper.
+
+        State effects (TLB and cache fills, recency, statistics) are exactly
+        those of :meth:`access` — the TLB and cache bodies are inlined here
+        because the filter memo's replay path performs one call per memory
+        event, keeping per-event MD-cache timing while skipping the chain
+        walk.  Any edit to ``Tlb.access``/``Cache.access`` must be mirrored
+        here; ``tests/test_burst_drain.py::test_access_cycles_mirrors_access``
+        pins the equivalence.
+        """
+        metadata_address = app_address // WORD_SIZE
+        # Inlined Tlb.access(metadata_address).
+        tlb = self._tlb
+        page = metadata_address // tlb.page_size
+        pages = tlb._pages
+        if page in pages:
+            pages.move_to_end(page)
+            tlb.stats.hits += 1
+            tlb_miss = False
+        else:
+            tlb.stats.misses += 1
+            if len(pages) >= tlb.entries:
+                pages.popitem(last=False)
+            pages[page] = None
+            tlb_miss = True
+        # Inlined Cache.access(metadata_address).
+        cache = self._cache
+        block = metadata_address // cache._block_bytes
+        ways = cache._sets[block % cache._num_sets]
+        tag = block // cache._num_sets
+        stats = cache.stats
+        if tag in ways:
+            ways.move_to_end(tag)
+            stats.hits += 1
+            return self.config.hit_latency, tlb_miss
+        stats.misses += 1
+        if len(ways) >= cache._associativity:
+            ways.popitem(last=False)
+            stats.evictions += 1
+        ways[tag] = None
+        return self.config.miss_latency, tlb_miss
+
     def bulk_touch(self, start: int, length: int) -> int:
         """Touch every metadata block covering an application range.
 

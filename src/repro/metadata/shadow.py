@@ -19,12 +19,30 @@ class ShadowMemory:
 
     Reads of never-written words return ``default`` — the monitor's encoding
     of "unshadowed" state (usually *unallocated*).
+
+    Two levels of generation counters track value-changing mutations for
+    FADE's filter memo (see :class:`repro.fade.pipeline.FilteringPipeline`):
+    ``generation`` is a store-wide epoch, and ``word_generations`` maps each
+    word to its own counter, so a cached filtering decision keyed on one
+    word survives writes to every other word.  While a word's generation is
+    unchanged, its metadata byte holds the value a previous chain walk
+    read.  Same-value rewrites through :meth:`write` (handlers refreshing
+    critical hints) bump neither; :meth:`bulk_set` bumps its whole range
+    conservatively.
     """
 
     def __init__(self, default: int = 0) -> None:
         if not 0 <= default <= 0xFF:
             raise ValueError("metadata bytes must fit in 8 bits")
         self.default = default
+        self.generation = 0
+        #: Per-word change counters for single-word writes (absent word ==
+        #: generation 0).  The dict's identity is stable; the filter memo
+        #: reads it directly.
+        self.word_generations: Dict[int, int] = {}
+        #: Bumped once per :meth:`bulk_set` — an O(1) epoch standing in for
+        #: per-word bumps over whole ranges (the filter memo checks both).
+        self.bulk_epoch = 0
         self._bytes: Dict[int, int] = {}
 
     @staticmethod
@@ -50,6 +68,9 @@ class ShadowMemory:
             self._bytes.pop(word, None)
         else:
             self._bytes[word] = value
+        self.generation += 1
+        generations = self.word_generations
+        generations[word] = generations.get(word, 0) + 1
         return True
 
     def bulk_set(self, start: int, length: int, value: int) -> int:
@@ -70,6 +91,13 @@ class ShadowMemory:
                 pop(word, None)
         else:
             self._bytes.update(dict.fromkeys(words, value))
+        if words:
+            # Conservative: the range write may or may not have changed each
+            # byte; over-invalidating the filter memo is always sound, and
+            # one epoch bump is O(1) where per-word bumps would double the
+            # cost of every stack/heap range operation.
+            self.generation += 1
+            self.bulk_epoch += 1
         return len(words)
 
     def items(self) -> Iterator[Tuple[int, int]]:
@@ -85,11 +113,20 @@ class ShadowMemory:
 
 
 class ShadowRegisters:
-    """One metadata byte per architectural register (the MD RF's contents)."""
+    """One metadata byte per architectural register (the MD RF's contents).
+
+    ``generation`` and the per-register ``generations`` list track
+    value-changing writes exactly like :class:`ShadowMemory`'s counters
+    (the filter memo's invalidation keys).
+    """
 
     def __init__(self, num_registers: int = 32, default: int = 0) -> None:
         self.num_registers = num_registers
         self.default = default
+        self.generation = 0
+        #: Per-register change counters (list identity is stable; the
+        #: filter memo reads it directly).
+        self.generations = [0] * num_registers
         self._bytes = [default] * num_registers
 
     def read(self, index: int) -> int:
@@ -102,11 +139,15 @@ class ShadowRegisters:
         if self._bytes[index] == value:
             return False
         self._bytes[index] = value
+        self.generation += 1
+        self.generations[index] += 1
         return True
 
     def reset(self) -> None:
         for index in range(self.num_registers):
             self._bytes[index] = self.default
+            self.generations[index] += 1
+        self.generation += 1
 
     def snapshot(self) -> Tuple[int, ...]:
         return tuple(self._bytes)

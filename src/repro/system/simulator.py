@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import enum
 import math
+from collections import Counter
 from fractions import Fraction
 from typing import List, Optional, Sequence, Union
 
@@ -42,7 +43,7 @@ from repro.common.errors import SimulationError
 from repro.cores.base import CORE_PARAMETERS
 from repro.cores.retire import RetireModel
 from repro.fade.accelerator import Fade, FadeConfig, FadeStats
-from repro.fade.pipeline import HandlerKind
+from repro.fade.pipeline import HandlerKind, force_inline_filtering
 from repro.isa.events import MonitoredEvent, StackOp, StackUpdate
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import OpClass, event_id_for
@@ -65,6 +66,32 @@ from repro.workload.trace import HighLevelEvent, Trace
 #: Horizon sentinel: quiet until some *other* agent acts (the actual jump is
 #: always additionally capped by ``SystemConfig.max_cycles``).
 _NEVER = 1 << 62
+
+
+class FusionStats:
+    """Diagnostic telemetry of the event engine's burst draining.
+
+    Module-global and deliberately *not* part of :class:`RunResult` — the
+    two engines' serialized results stay bit-identical whether or not runs
+    were fused.  ``benchmarks/bench_perf_core.py`` resets and reads it to
+    record the fused-run-length distribution.
+    """
+
+    __slots__ = ("runs", "fused_events", "fused_cycles", "run_lengths")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.runs = 0
+        self.fused_events = 0
+        self.fused_cycles = 0
+        #: events drained per fused window -> number of windows.
+        self.run_lengths: Counter = Counter()
+
+
+#: Process-wide burst-draining telemetry (serial measurement tool only).
+fusion_stats = FusionStats()
 
 
 class _ItemKind(enum.Enum):
@@ -329,6 +356,17 @@ class MonitoringSimulation:
             ).schedule(trace)
         self._schedule = schedule
 
+        # The filter memo and burst draining are enabled together: only for
+        # the event engine (the naive reference stays truly inline, so the
+        # equivalence suite compares memoized-fused against inline walks),
+        # only for monitors that declare their handlers memo-safe, and never
+        # under REPRO_FORCE_INLINE_FADE=1 (the CI fallback-rot knob).
+        fade_fast = (
+            config.fade_enabled
+            and config.engine == "event"
+            and monitor.filter_memo_safe
+            and not force_inline_filtering()
+        )
         self.fade: Optional[Fade] = None
         if config.fade_enabled:
             self.fade = Fade(
@@ -339,8 +377,18 @@ class MonitoringSimulation:
                     non_blocking=config.non_blocking,
                     fsq_capacity=config.fsq_capacity,
                     md_cache=config.md_cache,
+                    filter_memo=fade_fast,
                 ),
             )
+        self._fuse_enabled = fade_fast
+        self._tlb_service_cycles = (
+            math.ceil(
+                config.md_cache.tlb_service_instructions
+                / self._params.handler_ipc
+            )
+            if config.fade_enabled
+            else 0
+        )
 
         # The queue FADE reads (event queue) and the queue the monitor reads
         # (unfiltered event queue with FADE; the single event queue without).
@@ -474,6 +522,11 @@ class MonitoringSimulation:
             self._run_naive()
         else:
             self._run_event()
+        return self._finalize()
+
+    def _finalize(self) -> RunResult:
+        """Collect the finished run into its :class:`RunResult` (split out
+        so benchmarks can time the engine loop in isolation)."""
         self._finish_burst()
         self.result.cycles = float(self._now)
         self.result.reports = list(self.monitor.reports)
@@ -514,6 +567,8 @@ class MonitoringSimulation:
         step = self._step_cycle
         horizon = self._quiet_horizon
         skip = self._skip_cycles
+        fuse = self._fuse_enabled
+        fused_drain = self._fused_drain
         # Adaptive probing: during dense activity (probes keep finding
         # nothing, or only 1-3-cycle skips) the probe interval escalates up
         # to every 8th cycle, so busy regions stop paying the probe on every
@@ -525,6 +580,13 @@ class MonitoringSimulation:
             now = self._now
             if now >= max_cycles:
                 raise self._cycle_limit_error()
+            # Burst draining first: a fused window handles whole filtered
+            # bursts, FADE-busy tails, starved stretches, backpressured
+            # (blocked-application) phases and monitor-bound drain/wait
+            # stretches — plus the app's concurrent retirements — in one
+            # call.
+            if fuse and fused_drain():
+                continue
             if gap > 0:
                 gap -= 1
                 step()
@@ -712,6 +774,492 @@ class MonitoringSimulation:
         self._breakdown.record(self._app_blocked, monitor_busy, cycles)
         self._now += cycles
 
+    # ------------------------------------------------------- burst draining
+
+    def _fused_drain(self) -> bool:
+        """Consume a run of filtered instruction events in one fused window.
+
+        The window covers cycles in which the only agents acting are FADE —
+        dequeueing and filtering instruction events back-to-back through the
+        exact per-event functional path, in queue order — and the
+        application, whose retirements are *marched* with the reference
+        stepper's own progress arithmetic (same float expressions, same
+        delivery order, same per-cycle backpressure retries, rejections,
+        progress freezes and queue sampling).  The monitor must not *act*
+        inside the window: while it is idle nothing may be dispatchable,
+        and while it grinds a handler the march maintains the remaining
+        handler cost with the reference per-cycle SMT budget (which tracks
+        the application's blocked/finished state) and closes the window
+        before the completion cycle.  Any cycle the window cannot reproduce
+        verbatim — a monitor dispatch or completion, a non-instruction
+        queue head, the cycle limit — ends the window *before* that cycle,
+        which then runs through the shared stepper.  Results are therefore
+        bit-identical to naive stepping (see DESIGN.md §7).
+
+        Returns True when at least one cycle was consumed.
+        """
+        eq_entries = self._eq_entries
+        instruction_kind = _ItemKind.INSTRUCTION_EVENT
+        fade = self.fade
+        wq_entries = self._wq_entries
+        monitor_busy = self._monitor_item is not None
+        # Draining/waiting FADE is *inert* under a busy monitor: the drain
+        # clears only on a monitor-idle cycle and the wait only on handler
+        # completion, both excluded from windows — so those states persist
+        # verbatim and their cycle counters accrue in bulk.
+        fade_inert = 0  # 1 = draining, 2 = waiting.
+        if self._fade_draining:
+            if not monitor_busy:
+                return False  # The drain may clear this cycle.
+            fade_inert = 1
+        elif self._fade_wait_seq is not None:
+            if not monitor_busy:
+                return False  # The handler dispatches/completes around now.
+            fade_inert = 2
+        smt = self._smt
+        budget_full = self._budget_full
+        budget_half = self._budget_half
+        remaining = 0
+        if monitor_busy:
+            remaining = self._monitor_remaining
+            if smt and not self._app_blocked and self._app_index < self._plan_len:
+                first_budget = budget_half
+            else:
+                first_budget = budget_full
+            if remaining <= first_budget:
+                return False  # The running handler completes this cycle.
+        elif wq_entries:
+            return False  # The monitor dispatches a handler this cycle.
+        start = self._now
+        ready = self._fade_ready_at
+        if not fade_inert and ready <= start:
+            # FADE acts immediately: cheap zero-window rejects before the
+            # hoisting below (these are the common failed-attempt shapes).
+            if eq_entries:
+                if eq_entries[0].kind is not instruction_kind:
+                    return False
+            elif self._app_index >= self._plan_len and not self._app_blocked:
+                return False
+
+        # --- hoisted march state -----------------------------------------
+        limit = self.config.max_cycles  # Exclusive window end.
+        schedule = self._schedule
+        plan = self._plan
+        plan_len = self._plan_len
+        app_index = self._app_index
+        app_blocked = self._app_blocked
+        base = self._progress_base
+        halves = self._progress_halves
+        step_halves = 1 if (smt and monitor_busy) else 2
+        # Handler-budget consumption per cycle class (monitor-busy windows
+        # only): the reference budget is the half share exactly when the
+        # SMT application thread competes (running, not blocked).
+        run_budget = budget_half if smt else budget_full
+        eq_capacity = self.event_queue.capacity
+        eq_popleft = eq_entries.popleft
+        eq_stats = self.event_queue.stats
+        # The pipeline is called directly; FadeStats accrue in bulk at
+        # window end (bit-identical to Fade.process_event per event).
+        process = fade.pipeline.process
+        sample = self._sample
+        eq_hist = self._eq_hist
+        tlb_extra = self._tlb_service_cycles
+        app_finished = app_index >= plan_len
+        ceil = math.ceil
+        eq_append = eq_entries.append
+
+        t = limit if fade_inert else (ready if ready > start else start)
+        wq_capacity = self._wq_capacity
+        # Both stall sources only change inside a window at an unfiltered
+        # event (which re-derives this flag or ends the window): the
+        # unfiltered queue drains and FSQ entries release only on monitor
+        # cycles, which are excluded by construction.
+        fade_stalled = (
+            wq_capacity is not None and len(wq_entries) >= wq_capacity
+        ) or fade.fsq_full
+
+        drained = 0
+        pending_filtered = 0  # Filtered run since the last unfiltered event.
+        filtered_total = 0
+        blocked_cycles = 0
+        occupancy_sum = 0
+        tlb_miss_count = 0
+        partial_short_events = 0
+        unfiltered_full_events = 0
+        md_updates = 0
+        wq_mark = start  # First cycle whose wq sample is not yet accrued.
+        end = limit
+        cur = start  # Next cycle to march (app step + eq sampling).
+        stop = False
+        # Cached absolute cycle of the next deliverable item's crossing
+        # (progress at a given cycle is a fixed function while the app runs
+        # unfrozen, so this survives across march segments); -1 = unknown.
+        next_delivery = -1
+        next_j = 0
+
+        def march(upto: int, stop_on_delivery: bool = False) -> None:
+            """Apply cycles ``[cur, upto)``: the app's retirement step, the
+            monitor's budget consumption (busy windows), and the
+            end-of-cycle event-queue sample, in stepper order.
+
+            Delivery-free stretches (only None plan items cross, or nothing
+            does) are accrued as whole spans: the next *deliverable* item's
+            crossing cycle is computed with the stepper's own float
+            expressions (seed + exact verify), every cycle before it leaves
+            the queue untouched, and the crossing cycle itself is stepped
+            one item at a time, reproducing rejections, the progress freeze
+            and per-cycle blocked retries verbatim.  Busy windows maintain
+            ``remaining`` with the per-cycle reference budget (full share
+            while the application is blocked or finished, half share while
+            an SMT application thread competes) and close the window before
+            the handler-completion cycle (``stop``/``end``)."""
+            nonlocal cur, app_index, halves, base, app_finished, app_blocked
+            nonlocal blocked_cycles, stop, end, next_delivery, next_j
+            nonlocal remaining
+            while cur < upto:
+                if app_finished:
+                    # No deliveries, no progress: constant occupancy.
+                    span = upto - cur
+                    if monitor_busy:
+                        quiet = (remaining - 1) // budget_full
+                        if quiet < span:
+                            span = quiet
+                    if span:
+                        if monitor_busy:
+                            remaining -= span * budget_full
+                        if sample:
+                            eq_hist[len(eq_entries)] += span
+                        cur += span
+                    if cur < upto:
+                        stop = True  # Handler completion next cycle.
+                        end = cur
+                    return
+                delivered = False
+                if app_blocked:
+                    # Reference blocked-retry cycle (budget: full share).
+                    if monitor_busy:
+                        if remaining <= budget_full:
+                            stop = True
+                            end = cur
+                            return
+                        remaining -= budget_full
+                    if len(eq_entries) >= eq_capacity:
+                        eq_stats.rejected += 1
+                        blocked_cycles += 1
+                        if sample:
+                            eq_hist[len(eq_entries)] += 1
+                        cur += 1
+                        continue
+                    # Inlined successful BoundedQueue.try_enqueue (space
+                    # was checked; the blocked item is never None).
+                    eq_append(plan[app_index])
+                    eq_stats.enqueued += 1
+                    if len(eq_entries) > eq_stats.max_occupancy:
+                        eq_stats.max_occupancy = len(eq_entries)
+                    app_index += 1
+                    app_blocked = False
+                    delivered = True
+                else:
+                    if next_delivery < 0:
+                        # The next cycle that can touch the queue: the
+                        # crossing of the next non-None plan item (or the
+                        # last item's crossing, where the app finishes).
+                        j = app_index
+                        while j < plan_len and plan[j] is None:
+                            j += 1
+                        target = (
+                            schedule[j]
+                            if j < plan_len
+                            else schedule[plan_len - 1]
+                        )
+                        # First app step n >= 1 with base + (halves + n*h)/2
+                        # >= target, found exactly like _app_quiet_horizon.
+                        k = int(
+                            ceil(((target - base) * 2.0 - halves) / step_halves)
+                        )
+                        if k < 1:
+                            k = 1
+                        while (
+                            k > 1
+                            and base + (halves + (k - 1) * step_halves) * 0.5
+                            >= target
+                        ):
+                            k -= 1
+                        while base + (halves + k * step_halves) * 0.5 < target:
+                            k += 1
+                        next_delivery = cur + k - 1
+                        next_j = j
+                    event_cycle = next_delivery
+                    span = (
+                        upto - cur if event_cycle >= upto else event_cycle - cur
+                    )
+                    if span and monitor_busy:
+                        # The span runs at the half share (SMT app thread
+                        # active); clamp it before the completion cycle.
+                        quiet = (remaining - 1) // run_budget
+                        if quiet < span:
+                            if quiet <= 0:
+                                stop = True
+                                end = cur
+                                return
+                            span = quiet
+                            halves += step_halves * span
+                            progress = base + halves * 0.5
+                            index = app_index
+                            j = next_j
+                            while index < j and schedule[index] <= progress:
+                                index += 1
+                            app_index = index
+                            remaining -= span * run_budget
+                            if sample:
+                                eq_hist[len(eq_entries)] += span
+                            cur += span
+                            stop = True  # Completion on the next cycle.
+                            end = cur
+                            return
+                    if span:
+                        halves += step_halves * span
+                        progress = base + halves * 0.5
+                        index = app_index
+                        j = next_j
+                        while index < j and schedule[index] <= progress:
+                            index += 1  # None items crossing inside the span.
+                        app_index = index
+                        if monitor_busy:
+                            remaining -= span * run_budget
+                        if sample:
+                            eq_hist[len(eq_entries)] += span
+                        cur += span
+                        if cur >= upto:
+                            return
+                    next_delivery = -1  # Consumed by the cycle below.
+                    # Budget for the delivery cycle: the app is running and
+                    # unfrozen at cycle start.
+                    if monitor_busy:
+                        if remaining <= run_budget:
+                            stop = True
+                            end = cur
+                            return
+                        remaining -= run_budget
+                # The delivery / retry cycle's progress advance and
+                # crossing deliveries (shared by the unblock path, exactly
+                # as the reference ``_app_step`` falls through).
+                halves += step_halves
+                progress = base + halves * 0.5
+                index = app_index
+                while index < plan_len and schedule[index] <= progress:
+                    work = plan[index]
+                    if work is not None:
+                        if (
+                            eq_capacity is not None
+                            and len(eq_entries) >= eq_capacity
+                        ):
+                            # Inlined failing try_enqueue + the reference
+                            # freeze at the blocked item.
+                            eq_stats.rejected += 1
+                            app_blocked = True
+                            blocked_cycles += 1
+                            base = schedule[index]
+                            halves = 0
+                            break
+                        eq_append(work)
+                        eq_stats.enqueued += 1
+                        if len(eq_entries) > eq_stats.max_occupancy:
+                            eq_stats.max_occupancy = len(eq_entries)
+                        delivered = True
+                    index += 1
+                app_index = index
+                if not app_blocked and index >= plan_len:
+                    app_finished = True
+                if sample:
+                    eq_hist[len(eq_entries)] += 1
+                cur += 1
+                if delivered and stop_on_delivery:
+                    return
+
+        while True:
+            target = t if t < limit else limit
+            if cur < target:
+                if (
+                    target - cur == 1
+                    and next_delivery > cur
+                    and not app_blocked
+                    and not app_finished
+                    and (not monitor_busy or remaining > run_budget)
+                ):
+                    # Inlined single quiet-cycle march (the common shape
+                    # between back-to-back one-cycle filtered events; no
+                    # deliverable crosses, so only progress, the monitor
+                    # budget and the sample advance — lagging ``app_index``
+                    # over None items is benign, the next full march
+                    # re-derives it).
+                    halves += step_halves
+                    if monitor_busy:
+                        remaining -= run_budget
+                    if sample:
+                        eq_hist[len(eq_entries)] += 1
+                    cur += 1
+                else:
+                    march(target)
+                    if stop:
+                        break
+            if t >= limit:
+                end = limit
+                break
+            if not eq_entries:
+                if app_finished:
+                    end = t
+                    break
+                # Starved: march (in spans) until a delivery lands; FADE
+                # sees the new head on the cycle after the enqueue.
+                march(limit, stop_on_delivery=True)
+                if stop:
+                    break
+                if cur >= limit:
+                    end = limit
+                    break
+                t = cur
+                continue
+            if eq_entries[0].kind is not instruction_kind:
+                end = t  # Stack update / high-level head: stepper cycle.
+                break
+            if fade_stalled:
+                # Instruction head but FADE is stalled, and freeing the
+                # unfiltered queue or the FSQ takes a monitor cycle, which
+                # is excluded by construction: FADE stays inert for the
+                # whole window, which still marches the app.
+                t = limit
+                continue
+            if monitor_busy:
+                # Does the handler complete on cycle t itself?  Then the
+                # whole cycle (FADE's dequeue included) belongs to the
+                # stepper — check before processing, using cycle t's
+                # reference budget (cur == t, so the app state is current).
+                if app_blocked or app_finished or not smt:
+                    head_budget = budget_full
+                else:
+                    head_budget = run_budget
+                if remaining <= head_budget:
+                    end = t
+                    break
+            # Inlined BoundedQueue.dequeue (hot: once per drained event).
+            work = eq_popleft()
+            eq_stats.dequeued += 1
+            outcome = process(work.payload)
+            busy = outcome.occupancy_cycles
+            occupancy_sum += busy
+            if outcome.tlb_miss:
+                busy += tlb_extra
+                tlb_miss_count += 1
+            self._fade_ready_at = t + busy
+            drained += 1
+            if outcome.filtered:
+                pending_filtered += 1
+                t += busy
+                continue
+            # Unfiltered: enqueue downstream; per-event statistics keep the
+            # reference interleaving.
+            self.work_queue.enqueue(
+                _WorkItem(
+                    instruction_kind,
+                    work.payload,
+                    handler_kind=outcome.handler_kind,
+                )
+            )
+            if outcome.handler_kind is HandlerKind.SHORT:
+                partial_short_events += 1
+            else:
+                unfiltered_full_events += 1
+            if outcome.md_update is not None:
+                md_updates += 1
+            if pending_filtered:
+                filtered_total += pending_filtered
+                self._track_filtering(True, pending_filtered)
+                pending_filtered = 0
+            self._track_filtering(False)
+            if sample and t > wq_mark:
+                # The enqueue changes the sampled wq length from cycle t on.
+                self._wq_hist[len(wq_entries) - 1] += t - wq_mark
+            wq_mark = t
+            if monitor_busy and fade.non_blocking:
+                # The monitor only dispatches on completion (outside the
+                # window): keep draining.  Our enqueue may have filled the
+                # unfiltered queue, re-derive the stall flag.
+                fade_stalled = (
+                    wq_capacity is not None
+                    and len(wq_entries) >= wq_capacity
+                ) or fade.fsq_full
+                t += busy
+                continue
+            # Monitor idle (dispatch at t + 1) or blocking mode (waiting
+            # starts at t + 1): cycle t is the window's last.
+            if not fade.non_blocking:
+                self._fade_wait_seq = work.payload.sequence
+            march(t + 1)
+            if not stop:
+                end = t + 1
+            break
+
+        window = end - start
+        if window <= 0:
+            return False  # First cycle not fusable; nothing was consumed.
+
+        if pending_filtered:
+            filtered_total += pending_filtered
+            self._track_filtering(True, pending_filtered)
+        if drained:
+            # Bulk FadeStats accrual (what Fade.process_event does per
+            # event, summed over the window).
+            fade_stats = fade.stats
+            fade_stats.instruction_events += drained
+            fade_stats.busy_cycles += occupancy_sum
+            fade_stats.tlb_misses += tlb_miss_count
+            fade_stats.filtered += filtered_total
+            fade_stats.partial_short += partial_short_events
+            fade_stats.unfiltered_full += unfiltered_full_events
+            fade_stats.md_updates_committed += md_updates
+
+        # --- bulk accrual over [start, end) ------------------------------
+        self._app_index = app_index
+        self._app_blocked = app_blocked
+        self._progress_base = base
+        self._progress_halves = halves
+        self._now = end
+        result = self.result
+        if blocked_cycles:
+            result.app_blocked_cycles += blocked_cycles
+        if fade_inert == 1:
+            # Draining accrues every window cycle (ready_at never exceeds
+            # ``now`` while the drain flag is up).
+            result.fade_drain_cycles += window
+        elif fade_inert == 2:
+            # Waiting accrues only once the pipeline itself is free.
+            accrue_from = ready if ready > start else start
+            if end > accrue_from:
+                result.fade_wait_cycles += end - accrue_from
+        breakdown = self._breakdown
+        if monitor_busy:
+            self._monitor_remaining = remaining
+            result.monitor_busy_cycles += window
+            # Per-cycle classification: a cycle ends blocked exactly when
+            # it accrued app_blocked_cycles (retry failure or fresh freeze).
+            if blocked_cycles:
+                breakdown.app_idle += blocked_cycles
+                breakdown.both_busy += window - blocked_cycles
+            else:
+                breakdown.both_busy += window
+        else:
+            breakdown.monitor_idle += window
+        if sample and self._split_queues and end > wq_mark:
+            # Unfiltered-queue occupancy was constant since the last
+            # unfiltered enqueue (monitor cycles are excluded).
+            self._wq_hist[len(wq_entries)] += end - wq_mark
+        fusion_stats.runs += 1
+        fusion_stats.fused_events += drained
+        fusion_stats.fused_cycles += window
+        fusion_stats.run_lengths[drained] += 1
+        return True
+
     # -------------------------------------------------------------- monitor
 
     def _monitor_step(self) -> bool:
@@ -826,10 +1374,7 @@ class MonitoringSimulation:
         outcome = fade.process_event(event)
         busy = outcome.occupancy_cycles
         if outcome.tlb_miss:
-            busy += math.ceil(
-                fade.config.md_cache.tlb_service_instructions
-                / self._params.handler_ipc
-            )
+            busy += self._tlb_service_cycles
         self._fade_ready_at = self._now + busy
         self._track_filtering(outcome.filtered)
         if not outcome.filtered:
@@ -901,10 +1446,16 @@ class MonitoringSimulation:
 
     # ------------------------------------------------------------- statistics
 
-    def _track_filtering(self, filtered: bool) -> None:
-        """Figure 4(b, c): distances between and bursts of unfiltered events."""
+    def _track_filtering(self, filtered: bool, run: int = 1) -> None:
+        """Figure 4(b, c): distances between and bursts of unfiltered events.
+
+        ``run`` bulk-accrues a fused run of ``run`` consecutive *filtered*
+        events in one call (identical to ``run`` single calls; unfiltered
+        events are always tracked one at a time).  :meth:`_finish_burst` is
+        the one-shot finalizer that flushes the trailing burst at run end.
+        """
         if filtered:
-            self._filterable_gap += 1
+            self._filterable_gap += run
             return
         if self._saw_unfiltered:
             self.result.unfiltered_distances[self._filterable_gap] += 1

@@ -62,11 +62,101 @@ MODES = [
 )
 @pytest.mark.parametrize("monitor_name", MONITOR_NAMES)
 def test_engines_bit_identical(monitor_name, topology, mode):
-    """Monitors x topologies x blocking modes: full RunResult equality."""
+    """Monitors x topologies x blocking modes: full RunResult equality.
+
+    The event engine runs with burst draining and the two-level filter
+    memo enabled, the naive reference with both disabled, so this matrix
+    proves the fused-memoized paths bit-identical to truly inline walks.
+    """
     naive, event = run_both(
         monitor_name, bench_for(monitor_name), topology=topology, **mode
     )
     assert naive.to_dict() == event.to_dict()
+
+
+# ---------------------------------------------------- burst-drain x memo
+
+
+@pytest.mark.parametrize(
+    "config_kwargs",
+    [
+        pytest.param(
+            {"fade_enabled": True, "event_queue_capacity": 2},
+            id="saturated-event-queue",
+        ),
+        pytest.param(
+            {
+                "fade_enabled": True,
+                "topology": Topology.TWO_CORE,
+                "event_queue_capacity": 4,
+                "unfiltered_queue_capacity": 2,
+            },
+            id="two-core-tight-queues",
+        ),
+        pytest.param(
+            {
+                "fade_enabled": True,
+                "non_blocking": False,
+                "event_queue_capacity": 4,
+            },
+            id="blocking-backpressure",
+        ),
+        pytest.param(
+            {"fade_enabled": True, "burst_gap_threshold": 1},
+            id="tiny-burst-gap",
+        ),
+    ],
+)
+@pytest.mark.parametrize("monitor_name", ["memcheck", "atomcheck", "memleak"])
+def test_burst_drain_memo_corners(monitor_name, config_kwargs):
+    """Backpressure, blocking and burst-tracking corners of the fused
+    windows: blocked-application marching, freeze/retry cycles, in-window
+    unfiltered continuation, run-length gap accounting."""
+    naive, event = run_both(
+        monitor_name, bench_for(monitor_name), **config_kwargs
+    )
+    assert naive.to_dict() == event.to_dict()
+
+
+def test_force_inline_event_engine_matches(monkeypatch):
+    """REPRO_FORCE_INLINE_FADE=1 disables the memo and burst draining; the
+    event engine must still match both the naive reference and its own
+    fused-memoized results (the CI fallback-rot check)."""
+    import repro.system.simulator as simulator_module
+
+    fused_naive, fused_event = run_both("memcheck", "astar", fade_enabled=True)
+    monkeypatch.setenv("REPRO_FORCE_INLINE_FADE", "1")
+    simulator_module.fusion_stats.reset()
+    inline_naive, inline_event = run_both(
+        "memcheck", "astar", fade_enabled=True
+    )
+    assert simulator_module.fusion_stats.runs == 0  # Fusion really off.
+    assert inline_event.to_dict() == inline_naive.to_dict()
+    assert inline_event.to_dict() == fused_event.to_dict()
+    assert fused_naive.to_dict() == fused_event.to_dict()
+
+
+def test_memo_unsafe_monitor_falls_back_to_inline(monkeypatch):
+    """A monitor that declares ``filter_memo_safe = False`` runs the inline
+    per-event path (no fused windows), and stays bit-identical."""
+    import repro.system.simulator as simulator_module
+    from repro.monitors import create_monitor
+    from repro.workload import generate_trace, get_profile
+
+    profile = get_profile("astar")
+    trace = cached_trace("astar")
+    results = {}
+    for engine in ("naive", "event"):
+        monitor = create_monitor("memcheck")
+        monkeypatch.setattr(type(monitor), "filter_memo_safe", False)
+        simulator_module.fusion_stats.reset()
+        result = simulate(
+            trace, monitor, SystemConfig(fade_enabled=True, engine=engine),
+            profile,
+        )
+        assert simulator_module.fusion_stats.runs == 0
+        results[engine] = result.to_dict()
+    assert results["naive"] == results["event"]
 
 
 @pytest.mark.parametrize(
