@@ -18,6 +18,7 @@ from repro.mem.hierarchy import HierarchyConfig
 from repro.monitors import MONITOR_REGISTRY, create_monitor
 from repro.system.simulator import DeliveryPlan, build_plan
 from repro.workload.generator import generate_trace
+from repro.workload.profile import BenchmarkProfile
 from repro.workload.profiles import get_profile
 from repro.workload.trace import Trace
 
@@ -91,14 +92,21 @@ class RunnerCache:
         self._schedules: LruCache = LruCache(max_schedules)
         self._plans: LruCache = LruCache(max_plans)
 
-    def trace(self, benchmark: str, settings: ExperimentSettings) -> Trace:
+    def trace(
+        self,
+        benchmark: str,
+        settings: ExperimentSettings,
+        profile: Optional[BenchmarkProfile] = None,
+    ) -> Trace:
         """The deterministic synthetic trace for one (benchmark, settings).
 
         The key includes the resolved (frozen, hashable) profile itself, so
         re-registering a benchmark name with ``replace=True`` never serves a
-        trace built from the superseded profile.
+        trace built from the superseded profile.  ``profile`` overrides the
+        registry lookup for self-contained specs carrying an inline profile.
         """
-        profile = get_profile(benchmark)
+        if profile is None:
+            profile = get_profile(benchmark)
         key = (profile, settings.num_instructions, settings.seed)
         return self._traces.get_or_create(
             key,
@@ -108,12 +116,17 @@ class RunnerCache:
         )
 
     def seed_trace(
-        self, benchmark: str, settings: ExperimentSettings, trace: Trace
+        self,
+        benchmark: str,
+        settings: ExperimentSettings,
+        trace: Trace,
+        profile: Optional[BenchmarkProfile] = None,
     ) -> Trace:
         """Install an externally supplied trace (e.g. one attached from a
         shared-memory segment) under the key :meth:`trace` would use, so
         subsequent lookups reuse it instead of regenerating."""
-        profile = get_profile(benchmark)
+        if profile is None:
+            profile = get_profile(benchmark)
         key = (profile, settings.num_instructions, settings.seed)
         return self._traces.get_or_create(key, lambda: trace)
 
@@ -123,11 +136,13 @@ class RunnerCache:
         settings: ExperimentSettings,
         core: CoreType = CoreType.OOO4,
         hierarchy: Optional[HierarchyConfig] = None,
+        profile: Optional[BenchmarkProfile] = None,
     ) -> List[float]:
         """The unobstructed retirement schedule for one (benchmark, core,
         hierarchy) cell — grid cells differing only in monitor or FADE
         configuration share it."""
-        profile = get_profile(benchmark)
+        if profile is None:
+            profile = get_profile(benchmark)
         if hierarchy is None:
             hierarchy = HierarchyConfig()
         key = (profile, settings.num_instructions, settings.seed, core, hierarchy)
@@ -139,7 +154,7 @@ class RunnerCache:
                 bubble_mean=profile.bubble_mean,
                 hierarchy_config=hierarchy,
             )
-            return model.schedule(self.trace(benchmark, settings))
+            return model.schedule(self.trace(benchmark, settings, profile))
 
         return self._schedules.get_or_create(key, build)
 
@@ -148,6 +163,7 @@ class RunnerCache:
         benchmark: str,
         settings: ExperimentSettings,
         monitor_name: str,
+        profile: Optional[BenchmarkProfile] = None,
     ) -> DeliveryPlan:
         """The delivery plan (per-trace-item work classification) for one
         (benchmark, monitor) pair.  Plans hold only immutable event payloads,
@@ -157,13 +173,15 @@ class RunnerCache:
         name), so re-registering a name with ``replace=True`` never serves a
         plan classified by the superseded monitor.
         """
-        profile = get_profile(benchmark)
+        if profile is None:
+            profile = get_profile(benchmark)
         factory = MONITOR_REGISTRY.get(monitor_name)
         key = (profile, settings.num_instructions, settings.seed, factory)
         return self._plans.get_or_create(
             key,
             lambda: build_plan(
-                self.trace(benchmark, settings), create_monitor(monitor_name)
+                self.trace(benchmark, settings, profile),
+                create_monitor(monitor_name),
             ),
         )
 

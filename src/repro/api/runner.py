@@ -46,6 +46,20 @@ from repro.api.store import ResultStore
 #: (pickled as one compact column-bytes blob via ``__reduce__``).
 TracePayload = Union[SharedTraceHandle, PackedTrace]
 
+#: Identity of one grid trace: (benchmark, num_instructions, seed, inline
+#: profile or None).  Carrying the profile keeps keys unique when specs
+#: share a benchmark name but not a profile.
+TraceKey = Tuple[str, int, int, Optional["BenchmarkProfile"]]
+
+
+def _trace_key(spec: RunSpec) -> "TraceKey":
+    return (
+        spec.benchmark,
+        spec.settings.num_instructions,
+        spec.settings.seed,
+        spec.profile,
+    )
+
 #: Grids smaller than ``jobs`` run serially: pool startup (process spawn,
 #: imports, cache warm-up per worker) costs more than the handful of cells.
 _TINY_GRID = 2
@@ -69,18 +83,23 @@ def execute_spec(
             return cached
     if cache is None:
         cache = RunnerCache(max_traces=1, max_schedules=1, max_plans=1)
-    trace = cache.trace(spec.benchmark, spec.settings)
+    profile = spec.resolved_profile()
+    trace = cache.trace(spec.benchmark, spec.settings, profile)
     warmup = int(len(trace.items) * spec.settings.warmup_fraction)
     result = MonitoringSimulation(
         trace,
         create_monitor(spec.monitor),
         spec.config,
-        get_profile(spec.benchmark),
+        profile,
         warmup_items=warmup,
         schedule=cache.schedule(
-            spec.benchmark, spec.settings, spec.config.core_type, spec.config.hierarchy
+            spec.benchmark,
+            spec.settings,
+            spec.config.core_type,
+            spec.config.hierarchy,
+            profile,
         ),
-        plan=cache.plan(spec.benchmark, spec.settings, spec.monitor),
+        plan=cache.plan(spec.benchmark, spec.settings, spec.monitor, profile),
     ).run()
     if store is not None:
         store.put(spec, result)
@@ -130,7 +149,7 @@ def _worker_run(spec: RunSpec) -> RunResult:
 
 
 def _worker_run_chunk(
-    payload: Tuple[List[RunSpec], Dict[Tuple[str, int, int], "TracePayload"]],
+    payload: Tuple[List[RunSpec], Dict["TraceKey", "TracePayload"]],
 ) -> List[RunResult]:
     """Execute a batch of specs in one pool task.
 
@@ -144,19 +163,24 @@ def _worker_run_chunk(
     global _WORKER_CACHE
     if _WORKER_CACHE is None:
         _WORKER_CACHE = RunnerCache()
-    for (benchmark, num_instructions, seed), handle in handles.items():
+    for key, handle in handles.items():
         if isinstance(handle, SharedTraceHandle):
             trace = attach_trace(handle)
         else:
             trace = handle  # Pickle fallback: the packed trace itself.
         if trace is not None:
+            benchmark, num_instructions, seed, profile = key
             try:
+                # Inline profiles travel in the key (and in the specs), so
+                # seeding fuzzer-synthesised benchmarks never needs this
+                # process to have seen a runtime registration.
                 _WORKER_CACHE.seed_trace(
                     benchmark,
                     ExperimentSettings(
                         num_instructions=num_instructions, seed=seed
                     ),
                     trace,
+                    profile=profile,
                 )
             except ConfigurationError:
                 # Unknown profile in this worker (spawn pool without the
@@ -256,7 +280,8 @@ class ParallelRunner(Runner):
         for spec in spec_list:
             if spec.monitor not in MONITOR_REGISTRY:
                 create_monitor(spec.monitor)  # Raises with the known names.
-            get_profile(spec.benchmark)
+            if spec.profile is None:  # Inline profiles resolve spec-locally.
+                get_profile(spec.benchmark)
         try:
             context = multiprocessing.get_context("fork")
         except ValueError:
@@ -276,14 +301,10 @@ class ParallelRunner(Runner):
                 spec_list[i].monitor,
             ),
         )
-        trace_keys = {
-            (
-                spec.benchmark,
-                spec.settings.num_instructions,
-                spec.settings.seed,
-            )
-            for spec in spec_list
-        }
+        # One trace per key; the key carries the inline profile (None for
+        # registry-resolved specs), so two specs sharing a benchmark name
+        # but not a profile each get their own shared trace.
+        trace_keys = {_trace_key(spec) for spec in spec_list}
         # Chunk size from specs-per-benchmark: chunks then align with the
         # sorted benchmark groups (one trace per chunk), while staying small
         # enough to load-balance across the pool.
@@ -295,33 +316,28 @@ class ParallelRunner(Runner):
         ]
         arena = SharedTraceArena()
         try:
-            handles: Dict[Tuple[str, int, int], TracePayload] = {}
+            handles: Dict[TraceKey, TracePayload] = {}
             if self.share_traces:
-                for benchmark, num_instructions, seed in sorted(trace_keys):
+                for key in sorted(
+                    trace_keys,
+                    key=lambda k: (k[0], k[1], k[2], k[3] is not None),
+                ):
+                    benchmark, num_instructions, seed, profile = key
                     settings = ExperimentSettings(
                         num_instructions=num_instructions, seed=seed
                     )
-                    trace = self.cache.trace(benchmark, settings)
+                    trace = self.cache.trace(benchmark, settings, profile)
                     if isinstance(trace, PackedTrace):
                         # Shared memory when available; otherwise ship the
                         # packed trace itself (one compact pickled blob per
                         # chunk) so workers still never regenerate.
-                        handles[(benchmark, num_instructions, seed)] = (
-                            arena.share(trace) or trace
-                        )
+                        handles[key] = arena.share(trace) or trace
             payloads = []
             for indices in index_chunks:
                 chunk_specs = [spec_list[i] for i in indices]
                 chunk_handles = {
                     key: handles[key]
-                    for key in {
-                        (
-                            spec.benchmark,
-                            spec.settings.num_instructions,
-                            spec.settings.seed,
-                        )
-                        for spec in chunk_specs
-                    }
+                    for key in {_trace_key(spec) for spec in chunk_specs}
                     if key in handles
                 }
                 payloads.append((chunk_specs, chunk_handles))

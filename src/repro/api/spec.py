@@ -10,9 +10,11 @@ from __future__ import annotations
 
 import dataclasses
 import json
-from typing import Dict, Iterable, List, Mapping, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.system.config import SystemConfig
+from repro.workload.profile import BenchmarkProfile
+from repro.workload.profiles import get_profile
 
 
 @dataclasses.dataclass(frozen=True)
@@ -60,10 +62,23 @@ class RunSpec:
     settings: ExperimentSettings = dataclasses.field(
         default_factory=ExperimentSettings
     )
+    #: Inline benchmark profile.  When set, the spec is self-contained: the
+    #: benchmark name is *not* resolved through the registry — the profile
+    #: travels inside the (pickled or JSON) spec, so synthetic workloads
+    #: (e.g. fuzzer-sampled profiles, :mod:`repro.verify.fuzz`) execute in
+    #: spawn-started pool workers that never saw the runtime registration.
+    profile: Optional[BenchmarkProfile] = None
 
     def replace(self, **changes: object) -> "RunSpec":
         """A copy with the given fields replaced (specs are immutable)."""
         return dataclasses.replace(self, **changes)
+
+    def resolved_profile(self) -> BenchmarkProfile:
+        """The profile this spec runs: the inline one when present,
+        otherwise the registry entry for ``benchmark``."""
+        if self.profile is not None:
+            return self.profile
+        return get_profile(self.benchmark)
 
     def describe(self) -> str:
         return (
@@ -74,21 +89,35 @@ class RunSpec:
     # ------------------------------------------------------- serialization
 
     def to_dict(self) -> Dict[str, object]:
-        """Plain-JSON representation; the inverse of :meth:`from_dict`."""
-        return {
+        """Plain-JSON representation; the inverse of :meth:`from_dict`.
+
+        The ``profile`` key is present only for self-contained specs, so the
+        canonical JSON (and therefore every result-store key) of ordinary
+        registry-resolved specs is unchanged by the field's existence.
+        """
+        data = {
             "benchmark": self.benchmark,
             "monitor": self.monitor,
             "config": self.config.to_dict(),
             "settings": self.settings.to_dict(),
         }
+        if self.profile is not None:
+            data["profile"] = self.profile.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "RunSpec":
+        profile = data.get("profile")
         return cls(
             benchmark=data["benchmark"],
             monitor=data["monitor"],
             config=SystemConfig.from_dict(data["config"]),
             settings=ExperimentSettings.from_dict(data["settings"]),
+            profile=(
+                BenchmarkProfile.from_dict(profile)
+                if profile is not None
+                else None
+            ),
         )
 
     def to_json(self) -> str:

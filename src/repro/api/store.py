@@ -41,7 +41,6 @@ from typing import Dict, Optional, Union
 from repro.monitors import MONITOR_REGISTRY
 from repro.system.results import RunResult
 from repro.workload.packed import TRACE_SCHEMA_VERSION
-from repro.workload.profiles import get_profile
 
 from repro.api.spec import RunSpec
 
@@ -54,9 +53,20 @@ class ResultStore:
     #: simulation's meaning changes in a way the spec content cannot express.
     SCHEMA_VERSION = 1
 
-    def __init__(self, path: Union[str, os.PathLike]) -> None:
+    def __init__(
+        self, path: Union[str, os.PathLike], readonly: bool = False
+    ) -> None:
+        """``readonly=True`` opts out of every write: :meth:`put` becomes a
+        no-op, corrupt entries are not self-healed, and the directory is
+        not created.  The verification CLI (``repro fuzz`` /
+        ``repro conformance``) opens the user's ``$REPRO_RESULT_CACHE``
+        this way so throwaway verification runs can never mutate the
+        persistent store (they re-simulate instead of serving from it —
+        a store hit would verify the cache, not the code)."""
         self.path = pathlib.Path(path)
-        self.path.mkdir(parents=True, exist_ok=True)
+        self.readonly = readonly
+        if not readonly:
+            self.path.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
 
@@ -69,7 +79,7 @@ class ResultStore:
             "store_schema": self.SCHEMA_VERSION,
             "trace_schema": TRACE_SCHEMA_VERSION,
             "spec": spec.to_dict(),
-            "profile": dataclasses.asdict(get_profile(spec.benchmark)),
+            "profile": dataclasses.asdict(spec.resolved_profile()),
             "monitor_impl": (
                 f"{getattr(factory, '__module__', '?')}."
                 f"{getattr(factory, '__qualname__', repr(factory))}"
@@ -94,11 +104,13 @@ class ResultStore:
             return None
         except (OSError, ValueError, KeyError, TypeError):
             # Corrupt/truncated entry (e.g. a crashed writer predating the
-            # atomic-replace protocol): drop it and recompute.
-            try:
-                entry.unlink()
-            except OSError:
-                pass
+            # atomic-replace protocol): drop it and recompute.  A readonly
+            # store must not self-heal — deleting is a write too.
+            if not self.readonly:
+                try:
+                    entry.unlink()
+                except OSError:
+                    pass
             self.misses += 1
             return None
         self.hits += 1
@@ -106,6 +118,8 @@ class ResultStore:
 
     def put(self, spec: RunSpec, result: RunResult) -> None:
         """Persist one cell atomically (tmp file + rename)."""
+        if self.readonly:
+            return
         key = self.key(spec)
         entry = self._entry_path(key)
         entry.parent.mkdir(parents=True, exist_ok=True)

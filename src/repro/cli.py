@@ -9,6 +9,15 @@ Commands:
 * ``list`` — show the available benchmarks and monitors.
 * ``cache`` — inspect (``stats``) or empty (``clear``) a persistent result
   cache directory.
+* ``fuzz`` — coverage-guided differential fuzzing (:mod:`repro.verify`):
+  sample adversarial workloads and prove every engine/runner/store
+  configuration agrees on them, shrinking any mismatch to a minimal repro.
+* ``conformance`` — check (``run``) or re-bless (``bless``) the golden
+  result-digest corpus under ``tests/golden/``.
+
+``fuzz`` and ``conformance`` never write to ``$REPRO_RESULT_CACHE``: the
+persistent cache, when configured, is opened read-only and throwaway
+(temp-directory) stores back the store-warm oracle legs.
 
 Experiment commands accept ``--jobs N`` (fan the grid out over N worker
 processes), ``--out results.json`` (persist the raw
@@ -25,6 +34,7 @@ name like the built-in ones.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import pathlib
 import sys
@@ -115,6 +125,44 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("area", help="Section 7.6 area/power report")
     sub.add_parser("list", help="available benchmarks and monitors")
 
+    fuzz = sub.add_parser(
+        "fuzz", help="coverage-guided differential fuzzing of the simulator"
+    )
+    fuzz.add_argument(
+        "--budget", default="50", metavar="N|Ns",
+        help="campaign budget: a case count (e.g. 200) or wall-clock "
+             "seconds with an 's' suffix (e.g. 60s); default 50 cases",
+    )
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument(
+        "--quick", action="store_true",
+        help="serial oracle legs only (skip the process-pool legs)",
+    )
+    fuzz.add_argument(
+        "--min-coverage", type=float, default=0.0, metavar="FRACTION",
+        help="fail unless at least this fraction of tracked simulator "
+             "states was reached (e.g. 0.9)",
+    )
+    fuzz.add_argument(
+        "--report", type=pathlib.Path, default=pathlib.Path("fuzz-report"),
+        metavar="DIR",
+        help="directory for shrunken mismatch repro specs and the coverage "
+             "snapshot (written on completion; default: fuzz-report)",
+    )
+
+    conformance = sub.add_parser(
+        "conformance", help="golden result-digest conformance corpus"
+    )
+    conformance.add_argument(
+        "action", choices=("run", "bless"),
+        help="run: re-simulate every golden cell and diff digests; "
+             "bless: rewrite the golden entries from the current code",
+    )
+    conformance.add_argument(
+        "--corpus", type=pathlib.Path, default=None, metavar="DIR",
+        help="corpus directory (default: tests/golden/ in the repository)",
+    )
+
     cache = sub.add_parser("cache", help="manage a persistent result cache")
     cache.add_argument(
         "action", choices=("stats", "clear"),
@@ -127,13 +175,21 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _make_store(args: argparse.Namespace) -> Optional[ResultStore]:
-    """The ResultStore for ``--result-cache``/$REPRO_RESULT_CACHE, if any."""
+def _make_store(
+    args: argparse.Namespace, readonly: bool = False
+) -> Optional[ResultStore]:
+    """The ResultStore for ``--result-cache``/$REPRO_RESULT_CACHE, if any.
+
+    ``readonly=True`` is the verification commands' opt-out: every write
+    (``put``, mkdir, corrupt-entry healing) is a no-op.  The verification
+    commands do not read from the store either — cells must re-simulate —
+    so for them the configured cache is acknowledged and left untouched.
+    """
     path = getattr(args, "result_cache", None)
     if path is None:
         env = os.environ.get("REPRO_RESULT_CACHE", "")
         path = pathlib.Path(env) if env else None
-    return ResultStore(path) if path is not None else None
+    return ResultStore(path, readonly=readonly) if path is not None else None
 
 
 def _make_runner(jobs: int, store: Optional[ResultStore] = None) -> Runner:
@@ -257,6 +313,112 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.verify.coverage import COVERAGE
+    from repro.verify.fuzz import fuzz_campaign
+
+    _note_readonly_cache(args)
+    budget_text = str(args.budget).strip().lower()
+    try:
+        if budget_text.endswith("s"):
+            seconds: Optional[float] = float(budget_text[:-1])
+            budget = 1_000_000_000  # Time-bounded: the count never binds.
+        else:
+            seconds = None
+            budget = int(budget_text)
+        if budget <= 0 or (seconds is not None and seconds <= 0):
+            raise ValueError("budget must be positive")
+    except ValueError:
+        print(
+            f"error: invalid --budget {args.budget!r}: expected a positive "
+            "case count (e.g. 200) or wall-clock seconds with an 's' "
+            "suffix (e.g. 60s)",
+            file=sys.stderr,
+        )
+        return 2
+    report = fuzz_campaign(
+        budget=budget,
+        seed=args.seed,
+        seconds=seconds,
+        thorough=not args.quick,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    print(report.summary())
+    # The report directory is written on every completed campaign: the
+    # coverage snapshot for trend tracking, plus one shrunken repro spec
+    # per mismatch (the CI artifact on failure).
+    try:
+        args.report.mkdir(parents=True, exist_ok=True)
+        (args.report / "coverage.json").write_text(
+            json.dumps(
+                {
+                    "seed": report.seed,
+                    "cases_run": report.cases_run,
+                    "coverage_fraction": report.coverage_fraction,
+                    "hit_states": report.hit_states,
+                    "missing_states": report.missing_states,
+                    "regime_counts": report.regime_counts,
+                    "counters": COVERAGE.snapshot(),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        for index, mismatch in enumerate(report.mismatches):
+            (args.report / f"mismatch-{index}.json").write_text(
+                json.dumps(mismatch.to_dict(), indent=2, sort_keys=True) + "\n"
+            )
+    except OSError as error:
+        print(f"error: could not write {args.report}: {error}", file=sys.stderr)
+        return 1
+    if report.mismatches:
+        print(
+            f"[{len(report.mismatches)} shrunken repro spec(s) written to "
+            f"{args.report}]",
+            file=sys.stderr,
+        )
+        return 1
+    if args.min_coverage and report.coverage_fraction < args.min_coverage:
+        print(
+            f"error: coverage {report.coverage_fraction:.2f} below required "
+            f"{args.min_coverage:.2f}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _note_readonly_cache(args: argparse.Namespace) -> None:
+    """Tell the user what verification commands do with the configured
+    persistent cache: nothing.  Oracle and conformance legs must really
+    simulate (a store hit would verify the cache, not the code), the
+    store-warm legs use throwaway temp stores, and the opened store is
+    readonly (``put`` no-op, no mkdir, no corrupt-entry healing) so
+    verification runs can never mutate ``$REPRO_RESULT_CACHE``."""
+    store = _make_store(args, readonly=True)
+    if store is not None:
+        print(
+            f"[result cache {store.path}: not used by verification runs — "
+            "cells re-simulate and nothing is written]",
+            file=sys.stderr,
+        )
+
+
+def _cmd_conformance(args: argparse.Namespace) -> int:
+    from repro.verify.corpus import ConformanceCorpus
+
+    _note_readonly_cache(args)
+    corpus = ConformanceCorpus(args.corpus)
+    if args.action == "bless":
+        names = corpus.bless()
+        print(f"[{len(names)} golden cell(s) blessed into {corpus.path}]")
+        return 0
+    report = corpus.run()
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "table2": _cmd_table2,
@@ -264,6 +426,8 @@ _COMMANDS = {
     "area": _cmd_area,
     "list": _cmd_list,
     "cache": _cmd_cache,
+    "fuzz": _cmd_fuzz,
+    "conformance": _cmd_conformance,
 }
 
 

@@ -23,6 +23,7 @@ import dataclasses
 from typing import Dict, List, Optional
 
 from repro.common.errors import ConfigurationError
+from repro.verify.coverage import COVERAGE as _COVERAGE
 
 
 @dataclasses.dataclass(frozen=True)
@@ -86,12 +87,18 @@ class FilterStoreQueue:
         self.generation += 1
         generations = self.word_generations
         generations[word_address] = generations.get(word_address, 0) + 1
+        if _COVERAGE.enabled:
+            _COVERAGE.hit("fsq.insert")
+            if self._size >= self.capacity:
+                _COVERAGE.hit("fsq.saturated")
 
     def lookup(self, word_address: int) -> Optional[int]:
         """Newest value for a word, or None (then the MD cache value is used)."""
         stack = self._by_word.get(word_address)
         if stack:
             self.hits += 1
+            if _COVERAGE.enabled:
+                _COVERAGE.hit("fsq.forward")
             return stack[-1].value
         return None
 
@@ -120,6 +127,8 @@ class FilterStoreQueue:
         released = len(owned)
         self._size -= released
         self.generation += 1
+        if _COVERAGE.enabled:
+            _COVERAGE.hit("fsq.release")
         return released
 
     def clear(self) -> None:

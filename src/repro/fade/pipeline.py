@@ -35,6 +35,7 @@ from repro.fade.md_cache import MetadataCache
 from repro.fade.update_logic import compute_update
 from repro.isa.events import MonitoredEvent
 from repro.metadata.shadow import ShadowMemory, ShadowRegisters
+from repro.verify.coverage import COVERAGE as _COVERAGE
 
 #: Memo entries are dropped wholesale past this size (a simple bound; keys
 #: are per (event id, registers, word), so real runs stay far below it).
@@ -436,6 +437,8 @@ class FilteringPipeline:
             ventry = self._value_memo.get(value_key)
             if ventry is not None and ventry.table_gen == table_gen:
                 self.memo_value_hits += 1
+                if _COVERAGE.enabled:
+                    _COVERAGE.hit("memo.value_hit")
                 cycles = ventry.base_cycles
                 tlb_missed = False
                 mem_reads = ventry.mem_reads
@@ -465,28 +468,37 @@ class FilteringPipeline:
         )
         entry = memo.get(key)
         if entry is not None:
-            if entry.table_gen != table_gen or (
-                entry.inv_gen >= 0 and entry.inv_gen != self.inv_rf.generation
-            ):
-                entry = None
+            # Validation attributes the stale-entry class (coverage map);
+            # the checks and their order match the original composite test.
+            invalidation = None
+            if entry.table_gen != table_gen:
+                invalidation = "memo.inval.table"
+            elif entry.inv_gen >= 0 and entry.inv_gen != self.inv_rf.generation:
+                invalidation = "memo.inval.inv"
             else:
                 for register, generation in entry.reg_gens:
                     if self._reg_gens[register] != generation:
-                        entry = None
+                        invalidation = "memo.inval.reg"
                         break
-                if entry is not None and entry.word_gen >= 0:
+                if invalidation is None and entry.word_gen >= 0:
                     if (
                         self._mem_word_gens.get(word, 0) != entry.word_gen
                         or self.md_memory.bulk_epoch != entry.mem_epoch
-                        or (
-                            entry.fsq_gen >= 0
-                            and self._fsq_word_gens.get(word, 0)
-                            != entry.fsq_gen
-                        )
                     ):
-                        entry = None
+                        invalidation = "memo.inval.word"
+                    elif (
+                        entry.fsq_gen >= 0
+                        and self._fsq_word_gens.get(word, 0) != entry.fsq_gen
+                    ):
+                        invalidation = "memo.inval.fsq"
+            if invalidation is not None:
+                entry = None
+                if _COVERAGE.enabled:
+                    _COVERAGE.hit(invalidation)
             if entry is not None:
                 self.memo_hits += 1
+                if _COVERAGE.enabled:
+                    _COVERAGE.hit("memo.gen_hit")
                 cycles = entry.base_cycles
                 tlb_missed = False
                 mem_reads = entry.mem_reads
@@ -505,6 +517,8 @@ class FilteringPipeline:
                     tlb_missed, None,
                 )
         self.memo_misses += 1
+        if _COVERAGE.enabled:
+            _COVERAGE.hit("memo.miss")
         comparisons_before = self.filter_logic.comparisons
         outcome = self._process_inline(event)
         if outcome.filtered:
@@ -515,6 +529,8 @@ class FilteringPipeline:
             )
         else:
             memo.pop(key, None)  # Drop a stale filtered decision, if any.
+            if _COVERAGE.enabled:
+                _COVERAGE.hit("memo.unfiltered")
         return outcome
 
     def _process_inline(self, event: MonitoredEvent) -> EventOutcome:

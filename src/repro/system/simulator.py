@@ -51,6 +51,7 @@ from repro.monitors.base import HandlerClass, Monitor
 from repro.queues.bounded import BoundedQueue
 from repro.system.config import SystemConfig
 from repro.system.results import RunResult
+from repro.verify.coverage import COVERAGE as _COVERAGE
 from repro.workload.packed import (
     DEST_SHIFT,
     KIND_INSTRUCTION,
@@ -535,7 +536,47 @@ class MonitoringSimulation:
         self.result.event_queue_stats = self.event_queue.stats
         if self.work_queue is not self.event_queue:
             self.result.work_queue_stats = self.work_queue.stats
+        if _COVERAGE.enabled:
+            self._coverage_finalize()
         return self.result
+
+    def _coverage_finalize(self) -> None:
+        """Derive the run-level and queue-occupancy-band coverage states
+        from the finished statistics (zero per-cycle cost: bands come from
+        the occupancy histograms the run collected anyway)."""
+        cov = _COVERAGE
+        result = self.result
+        if self.warmup_items > 0:
+            cov.hit("run.warmup")
+        if self.fade is None:
+            cov.hit("run.unaccelerated")
+        if result.app_blocked_cycles:
+            cov.hit("run.app_blocked")
+        if result.fade_drain_cycles:
+            cov.hit("run.fade_drain")
+        if result.fade_wait_cycles:
+            cov.hit("run.fade_wait")
+        if self.event_queue.stats.rejected:
+            cov.hit("run.eq_rejected")
+        if not self._sample:
+            return
+        for prefix, hist, capacity in (
+            ("eq", self._eq_hist, self.event_queue.capacity),
+            ("wq", self._wq_hist, self._wq_capacity),
+        ):
+            if prefix == "wq" and not self._split_queues:
+                break
+            for occupancy, cycles in hist.items():
+                if not cycles:
+                    continue
+                if occupancy == 0:
+                    cov.hit(f"{prefix}.empty")
+                elif capacity is not None and occupancy >= capacity:
+                    cov.hit(f"{prefix}.full")
+                else:
+                    cov.hit(f"{prefix}.partial")
+                if occupancy >= 64:
+                    cov.hit(f"{prefix}.deep")
 
     def _cycle_limit_error(self) -> SimulationError:
         return SimulationError(
@@ -548,6 +589,8 @@ class MonitoringSimulation:
         max_cycles = self.config.max_cycles
         done = self._done
         step = self._step_cycle
+        if _COVERAGE.enabled and not done():
+            _COVERAGE.hit("engine.step")
         while not done():
             if self._now >= max_cycles:
                 raise self._cycle_limit_error()
@@ -597,8 +640,12 @@ class MonitoringSimulation:
                 if quiet > max_cycles - now:
                     quiet = max_cycles - now
                 skip(quiet)
+                if _COVERAGE.enabled:
+                    _COVERAGE.hit("engine.skip")
             else:
                 step()
+                if _COVERAGE.enabled:
+                    _COVERAGE.hit("engine.step")
                 if probe_gap < 8:
                     probe_gap <<= 1
                 gap = probe_gap - 1
@@ -877,6 +924,8 @@ class MonitoringSimulation:
         fade_stalled = (
             wq_capacity is not None and len(wq_entries) >= wq_capacity
         ) or fade.fsq_full
+        was_stalled = fade_stalled  # Sticky (coverage classification only).
+        unfiltered_exit = False
 
         drained = 0
         pending_filtered = 0  # Filtered run since the last unfiltered event.
@@ -1189,10 +1238,12 @@ class MonitoringSimulation:
                     wq_capacity is not None
                     and len(wq_entries) >= wq_capacity
                 ) or fade.fsq_full
+                was_stalled = was_stalled or fade_stalled
                 t += busy
                 continue
             # Monitor idle (dispatch at t + 1) or blocking mode (waiting
             # starts at t + 1): cycle t is the window's last.
+            unfiltered_exit = True
             if not fade.non_blocking:
                 self._fade_wait_seq = work.payload.sequence
             march(t + 1)
@@ -1258,6 +1309,23 @@ class MonitoringSimulation:
         fusion_stats.fused_events += drained
         fusion_stats.fused_cycles += window
         fusion_stats.run_lengths[drained] += 1
+        if _COVERAGE.enabled:
+            cov = _COVERAGE
+            cov.hit("fuse.monitor_busy" if monitor_busy else "fuse.monitor_idle")
+            if fade_inert == 1:
+                cov.hit("fuse.inert_drain")
+            elif fade_inert == 2:
+                cov.hit("fuse.inert_wait")
+            if was_stalled:
+                cov.hit("fuse.stalled")
+            if blocked_cycles:
+                cov.hit("fuse.app_blocked")
+            if filtered_total:
+                cov.hit("fuse.filtered_run")
+            if unfiltered_exit:
+                cov.hit("fuse.unfiltered_exit")
+            if not drained:
+                cov.hit("fuse.app_only")
         return True
 
     # -------------------------------------------------------------- monitor
@@ -1330,12 +1398,16 @@ class MonitoringSimulation:
             return
         if self._fade_wait_seq is not None:
             self.result.fade_wait_cycles += 1
+            if _COVERAGE.enabled:
+                _COVERAGE.hit("fade.wait")
             return
         if self._fade_draining:
             if self._unfiltered_drained:
                 self._fade_draining = False
             else:
                 self.result.fade_drain_cycles += 1
+                if _COVERAGE.enabled:
+                    _COVERAGE.hit("fade.drain")
                 return
         if not self._eq_entries:
             return
@@ -1347,27 +1419,41 @@ class MonitoringSimulation:
             if self.config.stack_update_drain and not self._unfiltered_drained:
                 self._fade_draining = True
                 self.result.fade_drain_cycles += 1
+                if _COVERAGE.enabled:
+                    _COVERAGE.hit("fade.drain")
                 return
             self.event_queue.dequeue()
             update = item.payload.stack_update
             cycles = fade.process_stack_update(update)
             self.monitor.on_suu_stack_update(update)
             self._fade_ready_at = self._now + cycles
+            if _COVERAGE.enabled:
+                _COVERAGE.hit("fade.suu")
             return
 
         if item.kind is _ItemKind.HIGH_LEVEL:
             if self.work_queue.is_full:
+                if _COVERAGE.enabled:
+                    _COVERAGE.hit("stall.wq_full")
                 return
             self.event_queue.dequeue()
             for inv_id, value in self.monitor.runtime_invariant_updates(item.payload):
                 fade.write_invariant(inv_id, value)
             self.work_queue.enqueue(item)
             self._fade_ready_at = self._now + 1
+            if _COVERAGE.enabled:
+                _COVERAGE.hit("fade.high_level")
             return
 
         # Instruction event.  Conservatively require space in the unfiltered
         # queue and the FSQ before starting (hardware would stall mid-pipe).
-        if self.work_queue.is_full or fade.fsq_full:
+        if self.work_queue.is_full:
+            if _COVERAGE.enabled:
+                _COVERAGE.hit("stall.wq_full")
+            return
+        if fade.fsq_full:
+            if _COVERAGE.enabled:
+                _COVERAGE.hit("stall.fsq_full")
             return
         self.event_queue.dequeue()
         event = item.payload

@@ -149,6 +149,22 @@ class BenchmarkProfile:
         if self.parallel and self.thread_switch_period <= 0:
             raise ConfigurationError(f"{self.name}: parallel profiles need a time slice")
 
+    # ------------------------------------------------------- serialization
+
+    def to_dict(self) -> dict:
+        """Plain-JSON representation; the inverse of :meth:`from_dict`.
+
+        Used by :class:`~repro.api.spec.RunSpec` to carry *inline* profiles
+        (fuzzer-synthesised benchmarks) inside the spec itself, so a spec
+        round-trips into spawn-started workers without relying on runtime
+        registration.
+        """
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BenchmarkProfile":
+        return cls(**data)
+
     @property
     def mix_total(self) -> float:
         return (

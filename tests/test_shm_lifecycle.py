@@ -1,0 +1,125 @@
+"""Shared-memory trace lifecycle under worker failure: a worker dying
+mid-attach leaks no segments, and every attach failure falls back to
+regeneration with bit-identical results.
+"""
+
+import multiprocessing
+import os
+import pathlib
+
+import pytest
+
+from repro.api import ExperimentSettings, RunSpec
+from repro.api.cache import RunnerCache
+from repro.api.runner import _worker_run_chunk, execute_spec
+from repro.api.shm import (
+    SharedTraceArena,
+    SharedTraceHandle,
+    attach_trace,
+    shared_memory_available,
+)
+from repro.system.config import SystemConfig
+from repro.verify.oracle import result_digest
+from repro.workload.generator import generate_trace
+from repro.workload.profiles import get_profile
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(), reason="no multiprocessing.shared_memory"
+)
+
+SETTINGS = ExperimentSettings(num_instructions=800, seed=5)
+
+_DEV_SHM = pathlib.Path("/dev/shm")
+
+
+def _shm_names() -> set:
+    if not _DEV_SHM.is_dir():  # Non-Linux: skip the leak accounting.
+        return set()
+    return {entry.name for entry in _DEV_SHM.iterdir()}
+
+
+def _exploding_chunk(payload):
+    """Pool-worker stand-in that dies before producing a result (top-level
+    so the pool can pickle it by name; fork workers share the module)."""
+    os._exit(3)
+
+
+def _attach_and_die(handle: SharedTraceHandle) -> None:
+    """Worker body: attach the shared trace, then die hard without any
+    cleanup — no close, no detach, no interpreter shutdown hooks."""
+    trace = attach_trace(handle)
+    os._exit(0 if trace is not None else 17)
+
+
+class TestWorkerDeathMidAttach:
+    def test_no_leaked_segments_and_attach_fallback(self):
+        before = _shm_names()
+        trace = generate_trace(
+            get_profile("astar"), SETTINGS.num_instructions, seed=SETTINGS.seed
+        )
+        arena = SharedTraceArena()
+        try:
+            handle = arena.share(trace)
+            if handle is None:
+                pytest.skip("shared memory unavailable on this platform")
+            context = multiprocessing.get_context("fork")
+            worker = context.Process(target=_attach_and_die, args=(handle,))
+            worker.start()
+            worker.join(timeout=30)
+            assert worker.exitcode == 0  # It really attached before dying.
+        finally:
+            arena.cleanup()
+        # The parent owns the unlink: after cleanup the segment is gone even
+        # though the worker died holding an attachment and never detached.
+        assert handle.segment_name not in _shm_names()
+        assert _shm_names() <= before | set()
+        # Late attachment (a straggler worker racing the unlink) degrades to
+        # None — the caller regenerates instead of crashing.
+        assert attach_trace(handle) is None
+
+    def test_cleanup_idempotent_after_worker_crash(self):
+        trace = generate_trace(
+            get_profile("astar"), SETTINGS.num_instructions, seed=SETTINGS.seed
+        )
+        arena = SharedTraceArena()
+        handle = arena.share(trace)
+        if handle is None:
+            pytest.skip("shared memory unavailable on this platform")
+        arena.cleanup()
+        arena.cleanup()  # Second pass must be a no-op, not an error.
+        assert len(arena) == 0
+
+
+class TestRegenerationFallback:
+    def test_stale_handle_regenerates_bit_identical(self):
+        """A chunk shipped with a dead segment name still executes: the
+        worker-side attach fails silently and the trace is regenerated from
+        the profile, with results identical to a healthy run."""
+        spec = RunSpec("astar", "memleak", SystemConfig(), SETTINGS)
+        expected = result_digest(execute_spec(spec, RunnerCache()))
+        ghost = SharedTraceHandle(
+            "psm_repro_gone_0000", {"schema": -1, "count": 0}
+        )
+        key = (spec.benchmark, SETTINGS.num_instructions, SETTINGS.seed, None)
+        results = _worker_run_chunk(([spec], {key: ghost}))
+        assert [result_digest(result) for result in results] == [expected]
+
+    def test_dead_worker_grid_falls_back_serially(self, monkeypatch):
+        """A pool whose workers die immediately degrades to serial
+        execution (BrokenProcessPool handling) without losing results."""
+        from repro.api import runner as runner_module
+
+        monkeypatch.setattr(
+            runner_module, "_worker_run_chunk", _exploding_chunk
+        )
+        specs = [
+            RunSpec("astar", "memleak", SystemConfig(), SETTINGS),
+            RunSpec("astar", "addrcheck", SystemConfig(), SETTINGS),
+        ]
+        expected = [
+            result_digest(execute_spec(spec, RunnerCache())) for spec in specs
+        ]
+        runner = runner_module.ParallelRunner(jobs=2)
+        with pytest.warns(RuntimeWarning, match="running serially"):
+            results = runner.run(specs)
+        assert [result_digest(r) for r in results.results] == expected

@@ -260,3 +260,100 @@ class TestCliCache:
         monkeypatch.delenv("REPRO_RESULT_CACHE", raising=False)
         assert cli.main(["cache", "stats"]) == 1
         assert "result-cache" in capsys.readouterr().err
+
+
+# --- concurrent writers (top-level: fork-context Process targets) -----------
+
+def _race_writer(path, spec_json, result_json, rounds):
+    """Hammer one store entry from a separate process."""
+    import json as _json
+
+    from repro.api import RunSpec as _RunSpec
+    from repro.api import ResultStore as _ResultStore
+    from repro.system.results import RunResult as _RunResult
+
+    store = _ResultStore(path)
+    spec = _RunSpec.from_json(spec_json)
+    result = _RunResult.from_dict(_json.loads(result_json))
+    for _ in range(rounds):
+        store.put(spec, result)
+
+
+class TestConcurrentWriters:
+    """Two processes racing puts on the same shard: readers only ever see
+    a missing entry or a complete one (atomic replace), corrupt entries
+    self-heal while writers race, and no temp files leak."""
+
+    def test_racing_puts_same_entry(self, tmp_path):
+        import multiprocessing
+
+        store_path = tmp_path / "race"
+        spec = GRID[0]
+        store = ResultStore(store_path)
+        result = SerialRunner().run([spec]).results[0]
+        expected = json.dumps(result.to_dict(), sort_keys=True)
+        payload = (
+            str(store_path),
+            spec.to_json(),
+            json.dumps(result.to_dict()),
+            60,
+        )
+        context = multiprocessing.get_context("fork")
+        writers = [
+            context.Process(target=_race_writer, args=payload)
+            for _ in range(2)
+        ]
+        for writer in writers:
+            writer.start()
+        # Read concurrently with the racing writers: every successful get
+        # must be the complete entry, bit-identical to the computed result.
+        observed_hit = False
+        while any(writer.is_alive() for writer in writers):
+            hit = store.get(spec)
+            if hit is not None:
+                observed_hit = True
+                assert json.dumps(hit.to_dict(), sort_keys=True) == expected
+        for writer in writers:
+            writer.join(timeout=60)
+            assert writer.exitcode == 0
+        final = store.get(spec)
+        assert final is not None and observed_hit
+        assert json.dumps(final.to_dict(), sort_keys=True) == expected
+        # The atomic-replace protocol leaves no temporary files behind.
+        assert not list(store_path.rglob(".tmp-*"))
+        assert len(store) == 1
+
+    def test_corrupt_entry_heals_under_concurrent_writer(self, tmp_path):
+        import multiprocessing
+
+        store_path = tmp_path / "heal"
+        store = ResultStore(store_path)
+        corrupt_spec, racing_spec = GRID[0], GRID[1]
+        racing_result = SerialRunner().run([racing_spec]).results[0]
+        # Plant a truncated entry for one spec (a crashed writer predating
+        # the atomic protocol), then race a healthy writer on another spec
+        # in the same store while the parent triggers self-healing.
+        entry = store._entry_path(store.key(corrupt_spec))
+        entry.parent.mkdir(parents=True, exist_ok=True)
+        entry.write_text('{"result": {"benchmark"')
+        context = multiprocessing.get_context("fork")
+        writer = context.Process(
+            target=_race_writer,
+            args=(
+                str(store_path),
+                racing_spec.to_json(),
+                json.dumps(racing_result.to_dict()),
+                40,
+            ),
+        )
+        writer.start()
+        healed = store.get(corrupt_spec)
+        writer.join(timeout=60)
+        assert writer.exitcode == 0
+        assert healed is None  # Corrupt entries read as misses...
+        assert not entry.exists()  # ...and are deleted on sight.
+        racing_hit = store.get(racing_spec)
+        assert racing_hit is not None
+        assert json.dumps(racing_hit.to_dict(), sort_keys=True) == json.dumps(
+            racing_result.to_dict(), sort_keys=True
+        )
