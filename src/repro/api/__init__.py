@@ -37,7 +37,7 @@ from repro.api.shm import (
     attach_trace,
     shared_memory_available,
 )
-from repro.api.store import ResultStore
+from repro.api.store import STORE_SCHEMA_VERSION, ResultStore, content_key
 from repro.api.runner import (
     ParallelRunner,
     Runner,
@@ -48,13 +48,17 @@ from repro.api.runner import (
     set_default_runner,
 )
 from repro.api.spec import (
+    CORE_ALIASES,
     DEFAULT_SETTINGS,
+    TOPOLOGY_ALIASES,
     ExperimentSettings,
     RunSpec,
+    config_from_fields,
     spec_grid,
 )
 
 __all__ = [
+    "CORE_ALIASES",
     "DEFAULT_SETTINGS",
     "ExperimentSettings",
     "LruCache",
@@ -66,10 +70,14 @@ __all__ = [
     "Runner",
     "RunnerCache",
     "SerialRunner",
+    "STORE_SCHEMA_VERSION",
     "SharedTraceArena",
     "SharedTraceHandle",
+    "TOPOLOGY_ALIASES",
     "attach_trace",
     "benchmark_names",
+    "config_from_fields",
+    "content_key",
     "create_monitor",
     "default_runner",
     "execute_spec",

@@ -190,6 +190,21 @@ def _worker_run_chunk(
     return [_worker_run(spec) for spec in specs]
 
 
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down *now*: cancel queued chunks, terminate the worker
+    processes (running simulations are CPU-bound and uninterruptible from
+    the parent otherwise), and release the executor without waiting."""
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - defensive: teardown must finish
+        pass
+    for process in list((getattr(pool, "_processes", None) or {}).values()):
+        try:
+            process.terminate()
+        except (OSError, AttributeError):  # pragma: no cover
+            pass
+
+
 # One-time flag for the spawn-context registration warning.
 _SPAWN_WARNING_EMITTED = False
 
@@ -341,19 +356,43 @@ class ParallelRunner(Runner):
                     if key in handles
                 }
                 payloads.append((chunk_specs, chunk_handles))
+            futures = []
             try:
-                with ProcessPoolExecutor(
+                pool = ProcessPoolExecutor(
                     max_workers=workers,
                     initializer=_worker_init,
                     mp_context=context,
-                ) as pool:
-                    batches = list(pool.map(_worker_run_chunk, payloads))
+                )
+            except (OSError, PermissionError, ValueError) as error:
+                warnings.warn(
+                    f"process pool unavailable ({error}); running serially",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                return self._run_serial(spec_list)
+            try:
+                futures = [
+                    pool.submit(_worker_run_chunk, payload)
+                    for payload in payloads
+                ]
+                batches = [future.result() for future in futures]
+                pool.shutdown()
+            except KeyboardInterrupt:
+                # Graceful interrupt: persist what already finished, kill
+                # the workers outright (waiting for running chunks defeats
+                # the point of Ctrl-C), and let the interrupt propagate.
+                # The outer ``finally`` unlinks the shared-memory segments,
+                # so nothing leaks in /dev/shm.
+                self._store_partial(spec_list, index_chunks, futures)
+                _terminate_pool(pool)
+                raise
             except (
                 OSError,
                 PermissionError,
                 BrokenProcessPool,
                 ConfigurationError,
             ) as error:
+                pool.shutdown(wait=True, cancel_futures=True)
                 warnings.warn(
                     f"process pool unavailable ({error}); running serially",
                     RuntimeWarning,
@@ -368,6 +407,32 @@ class ParallelRunner(Runner):
             for index, result in zip(indices, batch):
                 results[index] = result
         return results
+
+    def _store_partial(self, spec_list, index_chunks, futures) -> int:
+        """Persist every chunk that completed before an interrupt.
+
+        With no store the completed work is simply dropped (as before);
+        with one, a re-run after Ctrl-C serves the finished cells warm and
+        only recomputes the killed ones.  Returns how many results were
+        stored.
+        """
+        if self.store is None:
+            return 0
+        stored = 0
+        for indices, future in zip(index_chunks, futures):
+            if not future.done() or future.cancelled():
+                continue
+            try:
+                batch = future.result()
+            except BaseException:
+                continue  # The chunk raised; nothing to keep.
+            for index, result in zip(indices, batch):
+                try:
+                    self.store.put(spec_list[index], result)
+                    stored += 1
+                except OSError:
+                    return stored  # Store unwritable mid-interrupt: stop.
+        return stored
 
 
 _DEFAULT_RUNNER: Optional[Runner] = None

@@ -12,9 +12,74 @@ import dataclasses
 import json
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
-from repro.system.config import SystemConfig
+from repro.common.errors import ConfigurationError
+from repro.cores.base import CoreType
+from repro.system.config import SystemConfig, Topology
 from repro.workload.profile import BenchmarkProfile
 from repro.workload.profiles import get_profile
+
+#: Human-friendly spellings for the core/topology enums, shared by the CLI
+#: flags and the campaign-YAML config parser (enum *values* also resolve).
+CORE_ALIASES: Dict[str, CoreType] = {
+    "inorder": CoreType.INORDER,
+    "ooo2": CoreType.OOO2,
+    "ooo4": CoreType.OOO4,
+}
+TOPOLOGY_ALIASES: Dict[str, Topology] = {
+    "single": Topology.SINGLE_CORE_SMT,
+    "two-core": Topology.TWO_CORE,
+}
+
+
+def config_from_fields(fields: Mapping[str, object]) -> SystemConfig:
+    """A :class:`SystemConfig` from a *partial* plain mapping.
+
+    Unlike :meth:`SystemConfig.from_dict` (which round-trips complete
+    serialized configs), this accepts any subset of fields over the
+    defaults — the campaign-YAML idiom where a config axis names only the
+    knobs it sweeps.  Core types and topologies resolve from the alias
+    tables above or from the enum values themselves; unknown field names
+    raise a :class:`ConfigurationError` listing the valid ones.
+    """
+    valid = {field.name for field in dataclasses.fields(SystemConfig)}
+    unknown = sorted(set(fields) - valid)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown system-config field(s) {', '.join(unknown)}; "
+            f"valid fields: {', '.join(sorted(valid))}"
+        )
+    converted = dict(fields)
+    core = converted.get("core_type")
+    if isinstance(core, str):
+        try:
+            converted["core_type"] = CORE_ALIASES.get(core) or CoreType(core)
+        except ValueError:
+            raise ConfigurationError(
+                f"unknown core type {core!r}; expected one of "
+                f"{', '.join(sorted(CORE_ALIASES))} (or an enum value)"
+            ) from None
+    topology = converted.get("topology")
+    if isinstance(topology, str):
+        try:
+            converted["topology"] = (
+                TOPOLOGY_ALIASES.get(topology) or Topology(topology)
+            )
+        except ValueError:
+            raise ConfigurationError(
+                f"unknown topology {topology!r}; expected one of "
+                f"{', '.join(sorted(TOPOLOGY_ALIASES))} (or an enum value)"
+            ) from None
+    for name in ("md_cache", "hierarchy"):
+        nested = converted.get(name)
+        if isinstance(nested, Mapping):
+            # Delegate nested construction to the full round-trip parser by
+            # splicing the partial mapping into a default config's dict.
+            base = SystemConfig().to_dict()
+            base[name].update(nested)
+            converted[name] = getattr(
+                SystemConfig.from_dict(base), name
+            )
+    return SystemConfig(**converted)
 
 
 @dataclasses.dataclass(frozen=True)

@@ -18,10 +18,22 @@ hit returns a ``RunResult`` bit-identical to recomputation (round-tripped
 through the same ``to_dict``/``from_dict`` pair the ResultSet save/load
 path uses; proven by tests/test_store.py).
 
-Entries are one JSON file per key, sharded by the key's first two hex
-digits, written atomically (``os.replace``) so concurrent writers — e.g. a
-grid running while another shell replays a figure — can share one store
-directory.  Corrupt or truncated entries are treated as misses and deleted.
+Two interchangeable on-disk backends sit behind the one interface, selected
+by the store path (``tests/test_store_backends.py`` proves byte-identical
+entry payloads and results across them):
+
+* **json** (the default) — one JSON file per key, sharded by the key's
+  first two hex digits, written atomically (``os.replace``) so concurrent
+  writers — e.g. a grid running while another shell replays a figure — can
+  share one store directory.  Corrupt or truncated entries are treated as
+  misses and deleted.
+* **sqlite** — a single WAL-mode SQLite database holding the same entry
+  payloads (``entries(key, payload)``), selected by a ``sqlite://`` URL or
+  a ``.db``/``.sqlite``/``.sqlite3`` path suffix.  WAL gives many
+  concurrent readers plus serialized writers across *processes* — the
+  backend the campaign server (:mod:`repro.service`) points many clients
+  at.  A corrupt database file heals the same way a corrupt JSON entry
+  does: it reads as a miss and is re-created on the next write.
 
 Monitors edited *in place* (same class name, new behaviour) are the one
 invalidation the key cannot see; ``repro cache clear`` is the escape hatch
@@ -35,8 +47,9 @@ import hashlib
 import json
 import os
 import pathlib
+import sqlite3
 import tempfile
-from typing import Dict, Optional, Union
+from typing import Dict, Iterable, Optional, Tuple, Union
 
 from repro.monitors import MONITOR_REGISTRY
 from repro.system.results import RunResult
@@ -44,89 +57,99 @@ from repro.workload.packed import TRACE_SCHEMA_VERSION
 
 from repro.api.spec import RunSpec
 
+#: Version of the store's on-disk entry format *and* of the RunResult
+#: semantics it captures.  Bump whenever RunResult serialisation or the
+#: simulation's meaning changes in a way the spec content cannot express.
+#: Shared by every backend — the key (and therefore the cache identity) is
+#: backend-independent.
+STORE_SCHEMA_VERSION = 1
 
-class ResultStore:
-    """On-disk RunSpec-content → RunResult cache."""
+#: Path suffixes that select the SQLite backend without an explicit scheme.
+_SQLITE_SUFFIXES = (".db", ".sqlite", ".sqlite3")
 
-    #: Version of the store's on-disk entry format *and* of the RunResult
-    #: semantics it captures.  Bump whenever RunResult serialisation or the
-    #: simulation's meaning changes in a way the spec content cannot express.
-    SCHEMA_VERSION = 1
+#: How long a SQLite writer waits on a locked database before giving up —
+#: generous, because racing grid processes serialize whole-entry writes.
+_SQLITE_BUSY_TIMEOUT = 30.0
 
-    def __init__(
-        self, path: Union[str, os.PathLike], readonly: bool = False
-    ) -> None:
-        """``readonly=True`` opts out of every write: :meth:`put` becomes a
-        no-op, corrupt entries are not self-healed, and the directory is
-        not created.  The verification CLI (``repro fuzz`` /
-        ``repro conformance``) opens the user's ``$REPRO_RESULT_CACHE``
-        this way so throwaway verification runs can never mutate the
-        persistent store (they re-simulate instead of serving from it —
-        a store hit would verify the cache, not the code)."""
-        self.path = pathlib.Path(path)
+
+def content_key(spec: RunSpec) -> str:
+    """Content hash of everything a cell's result depends on.
+
+    Module-level (not a store method) because the key is a property of the
+    *spec content*, shared by every backend and by store-less consumers:
+    the campaign server single-flights identical in-flight specs by this
+    key even when it runs without a persistent store.
+    """
+    factory = MONITOR_REGISTRY.get(spec.monitor)
+    payload = {
+        "store_schema": STORE_SCHEMA_VERSION,
+        "trace_schema": TRACE_SCHEMA_VERSION,
+        "spec": spec.to_dict(),
+        "profile": dataclasses.asdict(spec.resolved_profile()),
+        "monitor_impl": (
+            f"{getattr(factory, '__module__', '?')}."
+            f"{getattr(factory, '__qualname__', repr(factory))}"
+        ),
+    }
+    canonical = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def _parse_store_path(
+    path: Union[str, os.PathLike],
+) -> Tuple[str, pathlib.Path]:
+    """(backend name, filesystem path) for a store path or URL.
+
+    ``sqlite://`` / ``json://`` URLs select explicitly (``sqlite:///x/y.db``
+    keeps the absolute path ``/x/y.db``); bare paths select by suffix —
+    ``.db``/``.sqlite``/``.sqlite3`` means SQLite, anything else is the
+    sharded-JSON directory layout.
+    """
+    text = os.fspath(path)
+    for scheme, backend in (("sqlite://", "sqlite"), ("json://", "json")):
+        if text.startswith(scheme):
+            # URL authority is always empty (local files): "sqlite:///a/b"
+            # is the absolute path /a/b, "sqlite://rel/c" the relative c.
+            rest = text[len(scheme):]
+            return backend, pathlib.Path(rest or ".")
+    head, sep, _ = text.partition("://")
+    if sep and head.isalnum():
+        from repro.common.errors import ConfigurationError
+
+        raise ConfigurationError(
+            f"unknown result-store scheme {head!r} in {text!r}: "
+            "use sqlite://, json://, or a bare path "
+            "(.db/.sqlite/.sqlite3 selects SQLite)"
+        )
+    suffix = pathlib.Path(text).suffix.lower()
+    if suffix in _SQLITE_SUFFIXES:
+        return "sqlite", pathlib.Path(text)
+    return "json", pathlib.Path(text)
+
+
+class _JsonDirBackend:
+    """Sharded one-file-per-entry layout (the original, default backend)."""
+
+    name = "json"
+
+    def __init__(self, path: pathlib.Path, readonly: bool) -> None:
+        self.path = path
         self.readonly = readonly
         if not readonly:
             self.path.mkdir(parents=True, exist_ok=True)
-        self.hits = 0
-        self.misses = 0
 
-    # ---------------------------------------------------------------- keys
-
-    def key(self, spec: RunSpec) -> str:
-        """Content hash of everything the cell's result depends on."""
-        factory = MONITOR_REGISTRY.get(spec.monitor)
-        payload = {
-            "store_schema": self.SCHEMA_VERSION,
-            "trace_schema": TRACE_SCHEMA_VERSION,
-            "spec": spec.to_dict(),
-            "profile": dataclasses.asdict(spec.resolved_profile()),
-            "monitor_impl": (
-                f"{getattr(factory, '__module__', '?')}."
-                f"{getattr(factory, '__qualname__', repr(factory))}"
-            ),
-        }
-        canonical = json.dumps(payload, sort_keys=True, default=str)
-        return hashlib.sha256(canonical.encode()).hexdigest()
-
-    def _entry_path(self, key: str) -> pathlib.Path:
+    def entry_path(self, key: str) -> pathlib.Path:
         return self.path / key[:2] / f"{key}.json"
 
-    # -------------------------------------------------------------- access
-
-    def get(self, spec: RunSpec) -> Optional[RunResult]:
-        """The cached result for ``spec``'s content, or None (a miss)."""
-        entry = self._entry_path(self.key(spec))
+    def read(self, key: str) -> Optional[str]:
         try:
-            data = json.loads(entry.read_text())
-            result = RunResult.from_dict(data["result"])
+            return self.entry_path(key).read_text()
         except FileNotFoundError:
-            self.misses += 1
             return None
-        except (OSError, ValueError, KeyError, TypeError):
-            # Corrupt/truncated entry (e.g. a crashed writer predating the
-            # atomic-replace protocol): drop it and recompute.  A readonly
-            # store must not self-heal — deleting is a write too.
-            if not self.readonly:
-                try:
-                    entry.unlink()
-                except OSError:
-                    pass
-            self.misses += 1
-            return None
-        self.hits += 1
-        return result
 
-    def put(self, spec: RunSpec, result: RunResult) -> None:
-        """Persist one cell atomically (tmp file + rename)."""
-        if self.readonly:
-            return
-        key = self.key(spec)
-        entry = self._entry_path(key)
+    def write(self, key: str, payload: str) -> None:
+        entry = self.entry_path(key)
         entry.parent.mkdir(parents=True, exist_ok=True)
-        payload = json.dumps(
-            {"key": key, "spec": spec.to_dict(), "result": result.to_dict()},
-            sort_keys=True,
-        )
         fd, tmp_name = tempfile.mkstemp(
             dir=entry.parent, prefix=".tmp-", suffix=".json"
         )
@@ -141,25 +164,22 @@ class ResultStore:
                 pass
             raise
 
-    # ---------------------------------------------------------- management
+    def delete(self, key: str) -> None:
+        try:
+            self.entry_path(key).unlink()
+        except OSError:
+            pass
 
-    def _entries(self):
-        return self.path.glob("??/*.json")
-
-    def stats(self) -> Dict[str, object]:
-        entries = list(self._entries())
-        return {
-            "path": str(self.path),
-            "entries": len(entries),
-            "bytes": sum(entry.stat().st_size for entry in entries),
-            "hits": self.hits,
-            "misses": self.misses,
-        }
+    def entry_sizes(self) -> Iterable[Tuple[str, int]]:
+        for entry in self.path.glob("??/*.json"):
+            try:
+                yield entry.stem, entry.stat().st_size
+            except OSError:  # Entry vanished under a racing clear.
+                continue
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
         removed = 0
-        for entry in list(self._entries()):
+        for entry in list(self.path.glob("??/*.json")):
             try:
                 entry.unlink()
                 removed += 1
@@ -172,8 +192,280 @@ class ResultStore:
                 pass
         return removed
 
+    def close(self) -> None:
+        pass
+
+
+class _SqliteBackend:
+    """One WAL-mode SQLite database holding every entry.
+
+    WAL mode is the concurrency contract: readers never block writers,
+    writers never block readers, and concurrent writers from *different
+    processes* serialize on the database lock (with a generous busy
+    timeout) instead of corrupting each other — the property the campaign
+    server relies on when many clients share one store.  Every statement
+    runs in autocommit (``isolation_level=None``), so an entry write is a
+    single atomic transaction, the analogue of the JSON backend's
+    ``os.replace``.
+    """
+
+    name = "sqlite"
+
+    def __init__(self, path: pathlib.Path, readonly: bool) -> None:
+        self.path = path
+        self.readonly = readonly
+        self._conn: Optional[sqlite3.Connection] = None
+        if not readonly and self.path.parent != self.path:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------ connection
+
+    def _connect(self) -> Optional[sqlite3.Connection]:
+        """The lazily-opened connection; None when a readonly store's
+        database does not exist (every read is then a miss)."""
+        if self._conn is not None:
+            return self._conn
+        if self.readonly:
+            if not self.path.exists():
+                return None
+            # mode=ro refuses writes at the SQLite level, so readonly is
+            # enforced even against bugs in this class.
+            uri = f"file:{self.path.as_posix()}?mode=ro"
+            conn = sqlite3.connect(
+                uri,
+                uri=True,
+                timeout=_SQLITE_BUSY_TIMEOUT,
+                isolation_level=None,
+                check_same_thread=False,
+            )
+        else:
+            conn = sqlite3.connect(
+                os.fspath(self.path),
+                timeout=_SQLITE_BUSY_TIMEOUT,
+                isolation_level=None,
+                check_same_thread=False,
+            )
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS entries ("
+                "key TEXT PRIMARY KEY, payload TEXT NOT NULL)"
+            )
+        self._conn = conn
+        return conn
+
+    def _reset_corrupt(self) -> None:
+        """Self-heal a corrupt database the way the JSON backend heals a
+        corrupt entry: drop it (plus WAL side files) so the next write
+        starts a fresh database.  Readonly stores must not heal."""
+        self.close()
+        if self.readonly:
+            return
+        for side in ("", "-wal", "-shm"):
+            try:
+                os.unlink(f"{self.path}{side}")
+            except OSError:
+                pass
+
+    # ---------------------------------------------------------------- access
+
+    def read(self, key: str) -> Optional[str]:
+        try:
+            conn = self._connect()
+            if conn is None:
+                return None
+            row = conn.execute(
+                "SELECT payload FROM entries WHERE key = ?", (key,)
+            ).fetchone()
+        except sqlite3.DatabaseError:
+            self._reset_corrupt()
+            return None
+        return row[0] if row is not None else None
+
+    def write(self, key: str, payload: str) -> None:
+        try:
+            conn = self._connect()
+            if conn is None:
+                return
+            conn.execute(
+                "INSERT OR REPLACE INTO entries (key, payload) VALUES (?, ?)",
+                (key, payload),
+            )
+        except sqlite3.DatabaseError:
+            self._reset_corrupt()
+            conn = self._connect()
+            if conn is not None:
+                conn.execute(
+                    "INSERT OR REPLACE INTO entries (key, payload) "
+                    "VALUES (?, ?)",
+                    (key, payload),
+                )
+
+    def delete(self, key: str) -> None:
+        try:
+            conn = self._connect()
+            if conn is not None:
+                conn.execute("DELETE FROM entries WHERE key = ?", (key,))
+        except sqlite3.DatabaseError:
+            self._reset_corrupt()
+
+    def entry_sizes(self) -> Iterable[Tuple[str, int]]:
+        try:
+            conn = self._connect()
+            if conn is None:
+                return
+            rows = conn.execute(
+                "SELECT key, length(payload) FROM entries"
+            ).fetchall()
+        except sqlite3.DatabaseError:
+            self._reset_corrupt()
+            return
+        yield from rows
+
+    def clear(self) -> int:
+        try:
+            conn = self._connect()
+            if conn is None:
+                return 0
+            cursor = conn.execute("DELETE FROM entries")
+            return cursor.rowcount
+        except sqlite3.DatabaseError:
+            self._reset_corrupt()
+            return 0
+
+    def close(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except sqlite3.Error:  # pragma: no cover - teardown best effort
+                pass
+            self._conn = None
+
+
+class ResultStore:
+    """On-disk RunSpec-content → RunResult cache (backend-agnostic)."""
+
+    #: Kept as a class attribute for backwards compatibility; the canonical
+    #: constant is module-level :data:`STORE_SCHEMA_VERSION`.
+    SCHEMA_VERSION = STORE_SCHEMA_VERSION
+
+    def __init__(
+        self, path: Union[str, os.PathLike], readonly: bool = False
+    ) -> None:
+        """``path`` selects the backend: a ``sqlite://``/``json://`` URL or
+        a bare path (``.db``/``.sqlite``/``.sqlite3`` suffix → SQLite,
+        anything else → sharded-JSON directory).
+
+        ``readonly=True`` opts out of every write: :meth:`put` becomes a
+        no-op, corrupt entries are not self-healed, and nothing is created
+        on disk.  The verification CLI (``repro fuzz`` /
+        ``repro conformance``) opens the user's ``$REPRO_RESULT_CACHE``
+        this way so throwaway verification runs can never mutate the
+        persistent store (they re-simulate instead of serving from it —
+        a store hit would verify the cache, not the code)."""
+        backend_name, fs_path = _parse_store_path(path)
+        self.path = fs_path
+        self.readonly = readonly
+        if backend_name == "sqlite":
+            self._backend = _SqliteBackend(fs_path, readonly)
+        else:
+            self._backend = _JsonDirBackend(fs_path, readonly)
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def backend(self) -> str:
+        """The active backend's name: ``"json"`` or ``"sqlite"``."""
+        return self._backend.name
+
+    # ---------------------------------------------------------------- keys
+
+    def key(self, spec: RunSpec) -> str:
+        """Content hash of everything the cell's result depends on
+        (see :func:`content_key`; identical across backends)."""
+        return content_key(spec)
+
+    def _entry_path(self, key: str) -> pathlib.Path:
+        """JSON-backend entry location (test/debug hook; the SQLite backend
+        has no per-entry files)."""
+        return self._backend.entry_path(key)
+
+    # -------------------------------------------------------------- access
+
+    def get(self, spec: RunSpec) -> Optional[RunResult]:
+        """The cached result for ``spec``'s content, or None (a miss)."""
+        key = content_key(spec)
+        try:
+            payload = self._backend.read(key)
+            if payload is None:
+                self.misses += 1
+                return None
+            result = RunResult.from_dict(json.loads(payload)["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            # Corrupt/truncated entry (e.g. a crashed writer predating the
+            # atomic-replace protocol): drop it and recompute.  A readonly
+            # store must not self-heal — deleting is a write too.
+            if not self.readonly:
+                self._backend.delete(key)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, spec: RunSpec, result: RunResult) -> None:
+        """Persist one cell atomically (tmp file + rename, or one SQLite
+        transaction)."""
+        if self.readonly:
+            return
+        key = content_key(spec)
+        payload = json.dumps(
+            {"key": key, "spec": spec.to_dict(), "result": result.to_dict()},
+            sort_keys=True,
+        )
+        self._backend.write(key, payload)
+
+    # ---------------------------------------------------------- management
+
+    def stats(self) -> Dict[str, object]:
+        """Aggregate plus per-shard entry counts and bytes.
+
+        A shard is the key's first two hex digits — the JSON backend's
+        subdirectory fan-out, applied to SQLite keys too so the shape of
+        the output (and of ``repro cache stats --json`` / the server's
+        ``/stats`` endpoint) is backend-independent.
+        """
+        shards: Dict[str, Dict[str, int]] = {}
+        entries = 0
+        total_bytes = 0
+        for key, size in self._backend.entry_sizes():
+            shard = shards.setdefault(key[:2], {"entries": 0, "bytes": 0})
+            shard["entries"] += 1
+            shard["bytes"] += size
+            entries += 1
+            total_bytes += size
+        return {
+            "path": str(self.path),
+            "backend": self.backend,
+            "entries": entries,
+            "bytes": total_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "shards": {name: shards[name] for name in sorted(shards)},
+        }
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        if self.readonly:
+            return 0
+        return self._backend.clear()
+
+    def close(self) -> None:
+        """Release backend resources (the SQLite connection).  Using the
+        store afterwards transparently reopens them."""
+        self._backend.close()
+
     def __len__(self) -> int:
-        return sum(1 for _ in self._entries())
+        return sum(1 for _ in self._backend.entry_sizes())
 
     def __repr__(self) -> str:
-        return f"ResultStore({str(self.path)!r})"
+        return f"ResultStore({str(self.path)!r}, backend={self.backend!r})"

@@ -7,8 +7,16 @@ Commands:
 * ``table2`` / ``fig9`` — regenerate the headline experiments.
 * ``area`` — print the Section 7.6 area/power report.
 * ``list`` — show the available benchmarks and monitors.
-* ``cache`` — inspect (``stats``) or empty (``clear``) a persistent result
-  cache directory.
+* ``cache`` — inspect (``stats``, ``--json`` for machine-readable
+  per-shard output) or empty (``clear``) a persistent result cache.
+* ``serve`` — run the long-lived campaign server (:mod:`repro.service`):
+  JSON over HTTP on localhost or a Unix socket, a bounded worker pool, a
+  shared result store, and single-flight dedup of identical in-flight
+  specs across clients.
+* ``campaign`` — expand a declarative YAML/JSON campaign file
+  (``campaign run campaign.yml``) into a spec batch and execute it
+  in-process or against a running server (``--server``); ``campaign show``
+  prints the expansion without running anything.
 * ``fuzz`` — coverage-guided differential fuzzing (:mod:`repro.verify`):
   sample adversarial workloads and prove every engine/runner/store
   configuration agrees on them, shrinking any mismatch to a minimal repro.
@@ -58,14 +66,9 @@ from repro.api import (
     benchmark_names,
     monitor_names,
 )
-from repro.cores.base import CoreType
-from repro.system import SystemConfig, Topology
-
-_CORES = {"inorder": CoreType.INORDER, "ooo2": CoreType.OOO2, "ooo4": CoreType.OOO4}
-_TOPOLOGIES = {
-    "single": Topology.SINGLE_CORE_SMT,
-    "two-core": Topology.TWO_CORE,
-}
+from repro.api.spec import CORE_ALIASES as _CORES
+from repro.api.spec import TOPOLOGY_ALIASES as _TOPOLOGIES
+from repro.system import SystemConfig
 
 
 def _add_execution_arguments(
@@ -82,10 +85,11 @@ def _add_execution_arguments(
         help="save the raw results as JSON (reload with ResultSet.load)",
     )
     parser.add_argument(
-        "--result-cache", type=pathlib.Path, default=None, metavar="PATH",
-        help="persistent content-addressed result cache directory: cells "
-             "whose inputs are unchanged are served from disk "
-             "(default: $REPRO_RESULT_CACHE if set)",
+        "--result-cache", default=None, metavar="PATH",
+        help="persistent content-addressed result cache: cells whose "
+             "inputs are unchanged are served from disk (default: "
+             "$REPRO_RESULT_CACHE if set; a .db/.sqlite suffix or "
+             "sqlite:// scheme selects the SQLite backend)",
     )
 
 
@@ -169,9 +173,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="stats: entry count/size; clear: delete every cached result",
     )
     cache.add_argument(
-        "--result-cache", type=pathlib.Path, default=None, metavar="PATH",
-        help="cache directory (default: $REPRO_RESULT_CACHE)",
+        "--result-cache", default=None, metavar="PATH",
+        help="cache path or URL (default: $REPRO_RESULT_CACHE); a .db/"
+             ".sqlite suffix or sqlite:// scheme selects the SQLite "
+             "backend, anything else the sharded-JSON directory",
     )
+    cache.add_argument(
+        "--json", action="store_true",
+        help="machine-readable stats: total plus per-shard entry counts "
+             "and bytes (the same shape the server's /stats returns)",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="run the long-lived campaign server"
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="TCP bind address (default: 127.0.0.1; the server has no "
+             "authentication — keep it on localhost or a Unix socket)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8787,
+        help="TCP port (default: 8787; 0 picks a free port)",
+    )
+    serve.add_argument(
+        "--socket", type=pathlib.Path, default=None, metavar="PATH",
+        help="serve on a Unix socket at PATH instead of TCP",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="simulation worker processes (default: CPU count)",
+    )
+    serve.add_argument(
+        "--result-cache", default=None, metavar="PATH",
+        help="shared persistent result store backing the server "
+             "(default: $REPRO_RESULT_CACHE; recommended: a sqlite path "
+             "like store.db — safe for many processes on one store)",
+    )
+
+    campaign = sub.add_parser(
+        "campaign", help="declarative YAML/JSON campaign files"
+    )
+    campaign.add_argument(
+        "action", choices=("run", "show"),
+        help="run: execute the expanded spec batch; "
+             "show: print the expansion without simulating",
+    )
+    campaign.add_argument("file", type=pathlib.Path, help="campaign file")
+    campaign.add_argument(
+        "--server", default=None, metavar="ADDR",
+        help="submit to a running `repro serve` (http://host:port or "
+             "unix:///path) instead of executing in-process",
+    )
+    _add_execution_arguments(campaign)
     return parser
 
 
@@ -188,7 +242,7 @@ def _make_store(
     path = getattr(args, "result_cache", None)
     if path is None:
         env = os.environ.get("REPRO_RESULT_CACHE", "")
-        path = pathlib.Path(env) if env else None
+        path = env or None
     return ResultStore(path, readonly=readonly) if path is not None else None
 
 
@@ -307,10 +361,91 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print(f"[{removed} cached result(s) removed from {store.path}]")
         return 0
     stats = store.stats()
-    print(f"result cache at {stats['path']}:")
+    if getattr(args, "json", False):
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    print(f"result cache at {stats['path']} ({stats['backend']}):")
     print(f"  entries: {stats['entries']}")
     print(f"  bytes:   {stats['bytes']}")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.server import CampaignServer
+
+    store = _make_store(args)
+    if store is None:
+        print(
+            "[no result store configured: in-flight dedup still applies, "
+            "but nothing persists between submissions — pass "
+            "--result-cache PATH (e.g. store.db) for warm re-runs]",
+            file=sys.stderr,
+        )
+    server = CampaignServer(
+        store=store,
+        workers=args.workers,
+        host=args.host,
+        port=args.port,
+        socket_path=str(args.socket) if args.socket else None,
+    )
+
+    async def main() -> None:
+        await server.start()
+        store_note = (
+            f"store {store.path} ({store.backend})"
+            if store is not None
+            else "no store"
+        )
+        print(
+            f"[repro serve] listening on {server.address} "
+            f"({server.scheduler.workers} worker(s), {store_note}) — "
+            "Ctrl-C to stop",
+            file=sys.stderr,
+        )
+        try:
+            await server._stop_event.wait()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("[repro serve] stopped", file=sys.stderr)
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.common.errors import ConfigurationError
+    from repro.service.campaign import Campaign
+    from repro.service.client import ServiceError
+
+    try:
+        campaign = Campaign.load(args.file)
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.action == "show":
+        print(campaign.describe())
+        return 0
+    try:
+        results = campaign.run(
+            server=args.server, jobs=args.jobs, store=_make_store(args)
+        )
+    except (ConfigurationError, ServiceError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    where = f"server {args.server}" if args.server else f"jobs={args.jobs}"
+    print(f"campaign {campaign.name}: {len(results)} result(s) via {where}")
+    rows = [
+        [record.spec.benchmark, record.spec.monitor,
+         record.spec.config.describe(), f"{record.result.slowdown:.2f}x"]
+        for record in results.records
+    ]
+    print(format_table(["benchmark", "monitor", "system", "slowdown"], rows,
+                       f"campaign: {campaign.name}"))
+    return _maybe_save(results, args.out)
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
@@ -426,6 +561,8 @@ _COMMANDS = {
     "area": _cmd_area,
     "list": _cmd_list,
     "cache": _cmd_cache,
+    "serve": _cmd_serve,
+    "campaign": _cmd_campaign,
     "fuzz": _cmd_fuzz,
     "conformance": _cmd_conformance,
 }

@@ -1,0 +1,36 @@
+"""The grid service: a long-running campaign server over the execution layer.
+
+:mod:`repro.service` promotes the one-shot CLI grid into shared
+infrastructure — the "heavy traffic from many users" architecture of the
+roadmap: N clients, one warm :class:`~repro.api.ResultStore`, zero
+recomputation.
+
+* :mod:`repro.service.scheduler` — the concurrency core: a bounded worker
+  pool behind an asyncio front, single-flight deduplication of identical
+  in-flight specs by store content key, warm answers straight from the
+  shared store.
+* :mod:`repro.service.server` — ``repro serve``: JSON over HTTP on
+  localhost or a Unix socket, streaming per-spec progress/results back as
+  NDJSON.
+* :mod:`repro.service.client` — a thin synchronous client
+  (:class:`ServiceClient`) speaking that protocol.
+* :mod:`repro.service.campaign` — declarative YAML campaigns
+  (``repro campaign run campaign.yml``): parameter grids expanded into
+  spec batches, submitted in-process or to a running server.
+"""
+
+from repro.service.campaign import Campaign, expand_campaign, load_campaign
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.scheduler import SpecOutcome, SpecScheduler
+from repro.service.server import CampaignServer
+
+__all__ = [
+    "Campaign",
+    "CampaignServer",
+    "ServiceClient",
+    "ServiceError",
+    "SpecOutcome",
+    "SpecScheduler",
+    "expand_campaign",
+    "load_campaign",
+]

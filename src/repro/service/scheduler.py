@@ -1,0 +1,197 @@
+"""Single-flight spec scheduling over a bounded worker pool.
+
+The scheduler is the server's concurrency core, but it is framework-free:
+any asyncio program can embed one.  Its contract, per submitted spec:
+
+* **warm** — the shared :class:`~repro.api.ResultStore` already holds the
+  spec's content key: answer from disk, simulate nothing.
+* **coalesced** — another client (or another spec in the same batch) is
+  *currently* computing the same key: await that computation instead of
+  starting a second one (single-flight, keyed by
+  :func:`repro.api.store.content_key` — which works store-less too, so
+  in-flight dedup never depends on persistence being configured).
+* **computed** — genuinely new work: run it on the bounded process pool
+  (:func:`repro.api.runner._worker_run`, the exact worker path the
+  parallel runner uses), persist it to the store, wake every coalesced
+  waiter.
+
+So for any set of concurrent clients, each distinct spec content is
+simulated **at most once per server lifetime** — the property the CI
+service-smoke job asserts.
+
+Store reads/writes are small synchronous file operations performed on the
+event loop (entries are a few KB; SQLite's WAL keeps them non-blocking in
+practice).  Simulation — seconds of CPU-bound pure Python — is what gets
+offloaded, to processes so the GIL never serialises two cells.  When a
+process pool cannot be created (or breaks), the scheduler degrades to a
+single worker thread: slower, still correct, same dedup guarantees.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import multiprocessing
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, Optional
+
+from repro.api.cache import RunnerCache
+from repro.api.runner import _worker_init, _worker_run, execute_spec
+from repro.api.spec import RunSpec
+from repro.api.store import ResultStore, content_key
+from repro.system.results import RunResult
+
+
+@dataclasses.dataclass(frozen=True)
+class SpecOutcome:
+    """How one submitted spec was satisfied."""
+
+    status: str  # "warm" | "coalesced" | "computed"
+    key: str
+    result: RunResult
+
+
+class SpecScheduler:
+    """Deduplicating scheduler: many submitters, one computation per key."""
+
+    def __init__(
+        self,
+        store: Optional[ResultStore] = None,
+        workers: Optional[int] = None,
+        use_processes: bool = True,
+    ) -> None:
+        """``use_processes=False`` forces the thread fallback — mainly for
+        tests and platforms without working process pools; results are
+        identical either way."""
+        self.store = store
+        self.workers = max(1, workers or os.cpu_count() or 1)
+        self.use_processes = use_processes
+        self._executor: Optional[Executor] = None
+        self._uses_threads = False
+        self._inflight: Dict[str, asyncio.Task] = {}
+        # A small cache for the thread fallback path (execute_spec needs
+        # one); process workers build their own via _worker_init.
+        self._cache = RunnerCache()
+        self.specs_received = 0
+        self.warm_hits = 0
+        self.coalesced = 0
+        self.computed = 0
+        self.errors = 0
+
+    # ------------------------------------------------------------ executor
+
+    def _pool(self) -> Executor:
+        if self._executor is not None:
+            return self._executor
+        if self.use_processes:
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:
+                context = None
+            try:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=_worker_init,
+                    mp_context=context,
+                )
+                return self._executor
+            except (OSError, PermissionError, ValueError):
+                pass  # Fall through to the thread fallback.
+        # CPU-bound work on one thread: correct, serialised by the GIL.
+        self._executor = ThreadPoolExecutor(max_workers=1)
+        self._uses_threads = True
+        return self._executor
+
+    def _degrade_to_thread(self) -> None:
+        """Swap a broken process pool for the thread fallback."""
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+        self._executor = ThreadPoolExecutor(max_workers=1)
+        self._uses_threads = True
+
+    # ------------------------------------------------------------- running
+
+    async def execute(self, spec: RunSpec) -> SpecOutcome:
+        """Satisfy one spec per the warm/coalesced/computed contract."""
+        self.specs_received += 1
+        key = content_key(spec)
+        if self.store is not None:
+            hit = self.store.get(spec)
+            if hit is not None:
+                self.warm_hits += 1
+                return SpecOutcome("warm", key, hit)
+        task = self._inflight.get(key)
+        if task is not None:
+            self.coalesced += 1
+            # shield(): a disconnecting client cancels its own wait, never
+            # the shared computation other clients are riding on.
+            result = await asyncio.shield(task)
+            return SpecOutcome("coalesced", key, result)
+        task = asyncio.get_running_loop().create_task(
+            self._compute(key, spec)
+        )
+        self._inflight[key] = task
+        result = await asyncio.shield(task)
+        return SpecOutcome("computed", key, result)
+
+    async def _compute(self, key: str, spec: RunSpec) -> RunResult:
+        loop = asyncio.get_running_loop()
+        try:
+            pool = self._pool()
+            try:
+                if self._uses_threads:
+                    # In-process: use the scheduler's own cache, never the
+                    # module-global worker cache (which may hold another
+                    # pool's stale shared-memory traces).
+                    result = await loop.run_in_executor(
+                        pool, execute_spec, spec, self._cache
+                    )
+                else:
+                    result = await loop.run_in_executor(
+                        pool, _worker_run, spec
+                    )
+            except BrokenProcessPool:
+                # A killed worker (OOM, crash) must not take the server
+                # down; recompute this spec on the thread fallback.
+                self._degrade_to_thread()
+                result = await loop.run_in_executor(
+                    self._executor, execute_spec, spec, self._cache
+                )
+        except Exception:
+            self.errors += 1
+            raise
+        finally:
+            self._inflight.pop(key, None)
+        if self.store is not None:
+            self.store.put(spec, result)
+        self.computed += 1
+        return result
+
+    # --------------------------------------------------------------- stats
+
+    @property
+    def inflight(self) -> int:
+        return len(self._inflight)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "specs_received": self.specs_received,
+            "warm_hits": self.warm_hits,
+            "coalesced": self.coalesced,
+            "computed": self.computed,
+            "errors": self.errors,
+            "inflight": self.inflight,
+            "workers": self.workers,
+        }
+
+    def shutdown(self) -> None:
+        """Cancel in-flight computations and release the pool."""
+        for task in list(self._inflight.values()):
+            task.cancel()
+        self._inflight.clear()
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)

@@ -16,11 +16,13 @@ geometrically smaller instruction counts and reports the smallest spec that
 still disagrees, so the repro attached to a failing fuzz campaign is
 minutes — not hours — of single-stepping away from a root cause.
 
-Nine legs execute per spec: the four serial-cold engine × filter-mode
+Ten legs execute per spec: the four serial-cold engine × filter-mode
 combinations (the naive engine ignores the filter memo by construction but
 runs under both settings anyway, so the forced-inline environment path
-cannot rot unnoticed), one store round-trip of the reference result, and —
-in thorough mode — the four parallel-cold combinations.  The remaining
+cannot rot unnoticed), two store round-trips of the reference result (one
+per :class:`~repro.api.ResultStore` backend — sharded JSON and SQLite —
+so the store axis covers both persistence formats), and — in thorough
+mode — the four parallel-cold combinations.  The remaining
 corners of the product (warm round-trips of the non-reference legs) are
 implied: every leg must equal the reference byte-for-byte, and the store
 round-trip is a pure serialization identity, so one warm leg witnesses it
@@ -183,7 +185,8 @@ class DifferentialOracle:
         """A digest function for one leg name (used by the shrinker)."""
         engine = "event" if leg.startswith("event/") else "naive"
         inline = "/inline/" in leg
-        if leg.endswith("/warm"):
+        if leg.endswith("/warm") or leg.endswith("/warm-sqlite"):
+            sqlite_leg = leg.endswith("/warm-sqlite")
 
             def run_warm(spec: RunSpec) -> str:
                 leg_spec = spec.replace(
@@ -193,9 +196,13 @@ class DifferentialOracle:
                 with tempfile.TemporaryDirectory(
                     prefix="repro-oracle-"
                 ) as tmp:
-                    store = ResultStore(tmp)
+                    target = (
+                        os.path.join(tmp, "store.db") if sqlite_leg else tmp
+                    )
+                    store = ResultStore(target)
                     store.put(leg_spec, cold)
                     warm = store.get(leg_spec)
+                    store.close()
                 if warm is None:
                     return "<store-miss-after-put>"
                 return result_digest(warm)
@@ -251,16 +258,23 @@ class DifferentialOracle:
         # computation that produced it.  A throwaway temp store — never the
         # user's persistent cache (see ResultStore(readonly=...)).
         with tempfile.TemporaryDirectory(prefix="repro-oracle-") as tmp:
-            store = ResultStore(tmp)
             reference_spec = serial_specs[REFERENCE_LEG]
-            store.put(reference_spec, results[REFERENCE_LEG])
-            warm = store.get(reference_spec)
-            leg = "event/serial/memo/warm"
-            if warm is None:
-                digests[leg] = "<store-miss-after-put>"
-            else:
-                digests[leg] = result_digest(warm)
-                results[leg] = warm
+            for leg, target in (
+                ("event/serial/memo/warm", tmp),
+                (
+                    "event/serial/memo/warm-sqlite",
+                    os.path.join(tmp, "store.db"),
+                ),
+            ):
+                store = ResultStore(target)
+                store.put(reference_spec, results[REFERENCE_LEG])
+                warm = store.get(reference_spec)
+                store.close()
+                if warm is None:
+                    digests[leg] = "<store-miss-after-put>"
+                else:
+                    digests[leg] = result_digest(warm)
+                    results[leg] = warm
 
         if self.thorough:
             # Both engines share one pool per filter mode (two pools per

@@ -269,3 +269,112 @@ class TestResultSet:
         assert len(values) == len(results)
         assert results.mean("slowdown") == pytest.approx(sum(values) / len(values))
         assert ResultSet().mean() == 0.0 and ResultSet().geomean() == 0.0
+
+
+class TestGracefulInterrupt:
+    """Ctrl-C during a parallel grid: completed chunks are persisted to the
+    store before the interrupt propagates, so a re-run serves them warm and
+    only recomputes the killed cells."""
+
+    GRID = spec_grid(
+        ["astar", "mcf"],
+        ["memleak", "addrcheck"],
+        [SystemConfig(), SystemConfig(fade_enabled=False)],
+        TINY,
+    )
+
+    class _FakeFuture:
+        def __init__(self, batch=None, error=None):
+            self._batch = batch
+            self._error = error
+
+        def done(self):
+            return self._batch is not None
+
+        def cancelled(self):
+            return False
+
+        def result(self):
+            if self._error is not None:
+                raise self._error
+            return self._batch
+
+    class _InterruptingPool:
+        """First chunk computes for real (in-process); every later chunk's
+        ``result()`` raises KeyboardInterrupt — a Ctrl-C that lands after
+        some workers already finished."""
+
+        def __init__(self, *args, **kwargs):
+            self.submitted = 0
+            from repro.api import runner as runner_module
+
+            runner_module._worker_init()
+
+        def submit(self, fn, payload):
+            self.submitted += 1
+            if self.submitted == 1:
+                return TestGracefulInterrupt._FakeFuture(batch=fn(payload))
+            return TestGracefulInterrupt._FakeFuture(error=KeyboardInterrupt())
+
+        def shutdown(self, *args, **kwargs):
+            pass
+
+    def test_partial_results_stored_on_interrupt(self, tmp_path, monkeypatch):
+        from repro.api import ResultStore
+        from repro.api import runner as runner_module
+
+        monkeypatch.setattr(
+            runner_module, "ProcessPoolExecutor", self._InterruptingPool
+        )
+        # The fake pool runs chunks in-process, seeding the module-global
+        # worker cache with this grid's shared-memory traces; restore it so
+        # the stale attachments never leak into later tests.
+        monkeypatch.setattr(runner_module, "_WORKER_CACHE", None)
+        store = ResultStore(tmp_path / "partial")
+        runner = ParallelRunner(jobs=2, store=store)
+        with pytest.raises(KeyboardInterrupt):
+            runner.run(self.GRID)
+        partial = len(store)
+        assert 0 < partial < len(self.GRID)  # First chunk only.
+
+        # The re-run (here: a plain serial runner on the same store) serves
+        # the persisted chunk warm and recomputes just the killed cells —
+        # bit-identical to an uninterrupted run.
+        resume_store = ResultStore(tmp_path / "partial")
+        resumed = SerialRunner(store=resume_store).run(self.GRID)
+        assert resume_store.hits == partial
+        assert resume_store.misses == len(self.GRID) - partial
+        assert resumed.to_dict() == SerialRunner().run(self.GRID).to_dict()
+
+    def test_interrupt_without_store_still_propagates(self, monkeypatch):
+        from repro.api import runner as runner_module
+
+        monkeypatch.setattr(
+            runner_module, "ProcessPoolExecutor", self._InterruptingPool
+        )
+        monkeypatch.setattr(runner_module, "_WORKER_CACHE", None)
+        with pytest.raises(KeyboardInterrupt):
+            ParallelRunner(jobs=2).run(self.GRID)
+
+    def test_terminate_pool_kills_processes(self):
+        from repro.api.runner import _terminate_pool
+
+        class _Process:
+            def __init__(self):
+                self.terminated = False
+
+            def terminate(self):
+                self.terminated = True
+
+        class _Pool:
+            def __init__(self):
+                self._processes = {1: _Process(), 2: _Process()}
+                self.shutdown_args = None
+
+            def shutdown(self, wait=True, cancel_futures=False):
+                self.shutdown_args = (wait, cancel_futures)
+
+        pool = _Pool()
+        _terminate_pool(pool)
+        assert pool.shutdown_args == (False, True)
+        assert all(p.terminated for p in pool._processes.values())
