@@ -29,6 +29,7 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.common.errors import ConfigurationError
+from repro.faults.injector import worker_fault
 from repro.monitors import MONITOR_REGISTRY, create_monitor
 from repro.system.results import RunResult
 from repro.system.simulator import MonitoringSimulation
@@ -63,6 +64,12 @@ def _trace_key(spec: RunSpec) -> "TraceKey":
 #: Grids smaller than ``jobs`` run serially: pool startup (process spawn,
 #: imports, cache warm-up per worker) costs more than the handful of cells.
 _TINY_GRID = 2
+
+#: How many times a broken process pool is replaced with a fresh one before
+#: the remaining chunks finish serially.  A single crashed worker (OOM kill,
+#: injected fault) breaks the whole ProcessPoolExecutor; rebuilding and
+#: resubmitting only the unfinished chunks keeps completed work.
+_POOL_REBUILD_LIMIT = 2
 
 
 def execute_spec(
@@ -145,6 +152,10 @@ def _worker_run(spec: RunSpec) -> RunResult:
     global _WORKER_CACHE
     if _WORKER_CACHE is None:  # Pool created without the initializer.
         _WORKER_CACHE = RunnerCache()
+    # Fault-injection seam (no-op unless a plan is installed): a chaos plan
+    # targeting this spec crashes or hangs the worker *here*, before any
+    # simulation state exists, so recovery never sees half-computed work.
+    worker_fault(spec)
     return execute_spec(spec, _WORKER_CACHE)
 
 
@@ -356,49 +367,93 @@ class ParallelRunner(Runner):
                     if key in handles
                 }
                 payloads.append((chunk_specs, chunk_handles))
-            futures = []
-            try:
-                pool = ProcessPoolExecutor(
-                    max_workers=workers,
-                    initializer=_worker_init,
-                    mp_context=context,
-                )
-            except (OSError, PermissionError, ValueError) as error:
-                warnings.warn(
-                    f"process pool unavailable ({error}); running serially",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
+            pool = self._make_pool(workers, context)
+            if pool is None:
                 return self._run_serial(spec_list)
-            try:
+            # Chunk results land here as they are harvested; a broken pool
+            # costs only the chunks that had not finished.
+            batches: List[Optional[List[RunResult]]] = [None] * len(payloads)
+            pending = list(range(len(payloads)))
+            rebuilds = 0
+            while pending:
                 futures = [
-                    pool.submit(_worker_run_chunk, payload)
-                    for payload in payloads
+                    pool.submit(_worker_run_chunk, payloads[slot])
+                    for slot in pending
                 ]
-                batches = [future.result() for future in futures]
-                pool.shutdown()
-            except KeyboardInterrupt:
-                # Graceful interrupt: persist what already finished, kill
-                # the workers outright (waiting for running chunks defeats
-                # the point of Ctrl-C), and let the interrupt propagate.
-                # The outer ``finally`` unlinks the shared-memory segments,
-                # so nothing leaks in /dev/shm.
-                self._store_partial(spec_list, index_chunks, futures)
-                _terminate_pool(pool)
-                raise
-            except (
-                OSError,
-                PermissionError,
-                BrokenProcessPool,
-                ConfigurationError,
-            ) as error:
-                pool.shutdown(wait=True, cancel_futures=True)
-                warnings.warn(
-                    f"process pool unavailable ({error}); running serially",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
-                return self._run_serial(spec_list)
+                try:
+                    for slot, future in zip(pending, futures):
+                        batches[slot] = future.result()
+                    pending = []
+                    pool.shutdown()
+                except KeyboardInterrupt:
+                    # Graceful interrupt: persist what already finished —
+                    # this round's done futures plus chunks harvested in
+                    # earlier rounds — kill the workers outright (waiting
+                    # for running chunks defeats the point of Ctrl-C), and
+                    # let the interrupt propagate.  The outer ``finally``
+                    # unlinks the shared-memory segments, so nothing leaks
+                    # in /dev/shm.
+                    self._store_partial(
+                        spec_list,
+                        [index_chunks[slot] for slot in pending],
+                        futures,
+                    )
+                    self._store_batches(spec_list, index_chunks, batches)
+                    _terminate_pool(pool)
+                    raise
+                except BrokenProcessPool:
+                    # A dead worker (OOM kill, segfault, injected crash)
+                    # breaks the whole executor.  Keep every chunk that
+                    # finished, then retry the rest on a fresh pool; the
+                    # results are deterministic per spec, so a recomputed
+                    # chunk is bit-identical to an uninterrupted one.
+                    for slot, future in zip(pending, futures):
+                        if (
+                            batches[slot] is None
+                            and future.done()
+                            and not future.cancelled()
+                        ):
+                            try:
+                                batches[slot] = future.result()
+                            except Exception:
+                                pass  # Chunk died with the pool: retry it.
+                    pending = [
+                        slot for slot in pending if batches[slot] is None
+                    ]
+                    _terminate_pool(pool)
+                    pool = None
+                    rebuilds += 1
+                    if pending and rebuilds <= _POOL_REBUILD_LIMIT:
+                        warnings.warn(
+                            f"process pool broke (worker died); retrying "
+                            f"{len(pending)} unfinished chunk(s) on a "
+                            f"fresh pool",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
+                        pool = self._make_pool(workers, context)
+                    if pool is None and pending:
+                        warnings.warn(
+                            "process pool kept breaking; running serially "
+                            f"for the {len(pending)} unfinished chunk(s)",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
+                        for slot in pending:
+                            batches[slot] = [
+                                execute_spec(spec, self.cache)
+                                for spec in payloads[slot][0]
+                            ]
+                        pending = []
+                except (OSError, PermissionError, ConfigurationError) as error:
+                    pool.shutdown(wait=True, cancel_futures=True)
+                    warnings.warn(
+                        f"process pool unavailable ({error}); running "
+                        f"serially",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    return self._run_serial(spec_list)
         finally:
             # Segments never outlive the grid — worker crashes included.
             arena.cleanup()
@@ -407,6 +462,23 @@ class ParallelRunner(Runner):
             for index, result in zip(indices, batch):
                 results[index] = result
         return results
+
+    def _make_pool(
+        self, workers: int, context
+    ) -> Optional[ProcessPoolExecutor]:
+        try:
+            return ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_worker_init,
+                mp_context=context,
+            )
+        except (OSError, PermissionError, ValueError) as error:
+            warnings.warn(
+                f"process pool unavailable ({error}); running serially",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
 
     def _store_partial(self, spec_list, index_chunks, futures) -> int:
         """Persist every chunk that completed before an interrupt.
@@ -432,6 +504,23 @@ class ParallelRunner(Runner):
                     stored += 1
                 except OSError:
                     return stored  # Store unwritable mid-interrupt: stop.
+        return stored
+
+    def _store_batches(self, spec_list, index_chunks, batches) -> int:
+        """Persist chunks already harvested into ``batches`` (the pool-
+        breakage recovery buffer) when an interrupt cuts the grid short."""
+        if self.store is None:
+            return 0
+        stored = 0
+        for indices, batch in zip(index_chunks, batches):
+            if batch is None:
+                continue
+            for index, result in zip(indices, batch):
+                try:
+                    self.store.put(spec_list[index], result)
+                    stored += 1
+                except OSError:
+                    return stored
         return stored
 
 

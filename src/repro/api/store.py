@@ -51,6 +51,8 @@ import sqlite3
 import tempfile
 from typing import Dict, Iterable, Optional, Tuple, Union
 
+from repro.faults.injector import store_write_fault
+from repro.faults.retry import STORE_WRITE_POLICY
 from repro.monitors import MONITOR_REGISTRY
 from repro.system.results import RunResult
 from repro.workload.packed import TRACE_SCHEMA_VERSION
@@ -70,6 +72,19 @@ _SQLITE_SUFFIXES = (".db", ".sqlite", ".sqlite3")
 #: How long a SQLite writer waits on a locked database before giving up —
 #: generous, because racing grid processes serialize whole-entry writes.
 _SQLITE_BUSY_TIMEOUT = 30.0
+
+
+def _is_lock_error(error: sqlite3.Error) -> bool:
+    """True for SQLite's *transient* contention errors ('database is
+    locked' / 'database is busy').  These are OperationalErrors — and
+    therefore DatabaseError subclasses — but they signal a losing race,
+    not corruption: healing by deleting the database (what
+    ``_reset_corrupt`` does for genuine corruption) would destroy every
+    entry over a timing hiccup."""
+    if not isinstance(error, sqlite3.OperationalError):
+        return False
+    text = str(error).lower()
+    return "locked" in text or "busy" in text
 
 
 def content_key(spec: RunSpec) -> str:
@@ -277,7 +292,9 @@ class _SqliteBackend:
             row = conn.execute(
                 "SELECT payload FROM entries WHERE key = ?", (key,)
             ).fetchone()
-        except sqlite3.DatabaseError:
+        except sqlite3.DatabaseError as error:
+            if _is_lock_error(error):
+                return None  # Losing a read race is just a miss.
             self._reset_corrupt()
             return None
         return row[0] if row is not None else None
@@ -291,7 +308,9 @@ class _SqliteBackend:
                 "INSERT OR REPLACE INTO entries (key, payload) VALUES (?, ?)",
                 (key, payload),
             )
-        except sqlite3.DatabaseError:
+        except sqlite3.DatabaseError as error:
+            if _is_lock_error(error):
+                raise  # Transient: the caller's retry policy handles it.
             self._reset_corrupt()
             conn = self._connect()
             if conn is not None:
@@ -306,8 +325,9 @@ class _SqliteBackend:
             conn = self._connect()
             if conn is not None:
                 conn.execute("DELETE FROM entries WHERE key = ?", (key,))
-        except sqlite3.DatabaseError:
-            self._reset_corrupt()
+        except sqlite3.DatabaseError as error:
+            if not _is_lock_error(error):
+                self._reset_corrupt()
 
     def entry_sizes(self) -> Iterable[Tuple[str, int]]:
         try:
@@ -317,8 +337,9 @@ class _SqliteBackend:
             rows = conn.execute(
                 "SELECT key, length(payload) FROM entries"
             ).fetchall()
-        except sqlite3.DatabaseError:
-            self._reset_corrupt()
+        except sqlite3.DatabaseError as error:
+            if not _is_lock_error(error):
+                self._reset_corrupt()
             return
         yield from rows
 
@@ -329,8 +350,9 @@ class _SqliteBackend:
                 return 0
             cursor = conn.execute("DELETE FROM entries")
             return cursor.rowcount
-        except sqlite3.DatabaseError:
-            self._reset_corrupt()
+        except sqlite3.DatabaseError as error:
+            if not _is_lock_error(error):
+                self._reset_corrupt()
             return 0
 
     def close(self) -> None:
@@ -372,6 +394,7 @@ class ResultStore:
             self._backend = _JsonDirBackend(fs_path, readonly)
         self.hits = 0
         self.misses = 0
+        self.write_retries = 0
 
     @property
     def backend(self) -> str:
@@ -414,7 +437,15 @@ class ResultStore:
 
     def put(self, spec: RunSpec, result: RunResult) -> None:
         """Persist one cell atomically (tmp file + rename, or one SQLite
-        transaction)."""
+        transaction).
+
+        Transient write failures — ENOSPC races, SQLite lock contention —
+        are retried with bounded exponential backoff; only a persistently
+        failing store propagates the error.  A *torn* write (a crashed or
+        fault-injected writer truncating the payload) is not an error
+        here: the corrupt entry reads as a miss later and is deleted, so
+        the next computation heals it.
+        """
         if self.readonly:
             return
         key = content_key(spec)
@@ -422,7 +453,20 @@ class ResultStore:
             {"key": key, "spec": spec.to_dict(), "result": result.to_dict()},
             sort_keys=True,
         )
-        self._backend.write(key, payload)
+
+        def _write_once() -> None:
+            # Fault seam: store_write_fault may raise a transient error
+            # (exercised by the retry below) or tear the payload.
+            self._backend.write(key, store_write_fault(payload))
+
+        def _count_retry(attempt: int, error: BaseException) -> None:
+            self.write_retries += 1
+
+        STORE_WRITE_POLICY.call(
+            _write_once,
+            retry_on=(OSError, sqlite3.OperationalError),
+            on_retry=_count_retry,
+        )
 
     # ---------------------------------------------------------- management
 
@@ -450,6 +494,7 @@ class ResultStore:
             "bytes": total_bytes,
             "hits": self.hits,
             "misses": self.misses,
+            "write_retries": self.write_retries,
             "shards": {name: shards[name] for name in sorted(shards)},
         }
 

@@ -22,6 +22,12 @@ Commands:
   configuration agrees on them, shrinking any mismatch to a minimal repro.
 * ``conformance`` — check (``run``) or re-bless (``bless``) the golden
   result-digest corpus under ``tests/golden/``.
+* ``chaos`` — seeded chaos campaigns (:mod:`repro.faults`): run
+  fuzz-derived batches through the parallel runner and a live campaign
+  server while a deterministic :class:`~repro.faults.FaultPlan` kills
+  workers, hangs simulations, breaks pools, fails store writes and cuts
+  connections — then prove the surviving results are bit-identical to a
+  fault-free baseline with zero lost or duplicated specs.
 
 ``fuzz`` and ``conformance`` never write to ``$REPRO_RESULT_CACHE``: the
 persistent cache, when configured, is opened read-only and throwaway
@@ -183,6 +189,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="machine-readable stats: total plus per-shard entry counts "
              "and bytes (the same shape the server's /stats returns)",
     )
+    cache.add_argument(
+        "--server", default=None, metavar="ADDR",
+        help="query a running `repro serve` (http://host:port or "
+             "unix:///path) instead of opening a store: stats come from "
+             "GET /stats and include the scheduler's retry/timeout/fault "
+             "counters (clear is not supported over the wire)",
+    )
 
     serve = sub.add_parser(
         "serve", help="run the long-lived campaign server"
@@ -209,6 +222,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="shared persistent result store backing the server "
              "(default: $REPRO_RESULT_CACHE; recommended: a sqlite path "
              "like store.db — safe for many processes on one store)",
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection campaign with a bit-identical oracle",
+    )
+    chaos.add_argument(
+        "--budget", default="1", metavar="N|Ns",
+        help="campaign budget: a round count (e.g. 3) or wall-clock "
+             "seconds with an 's' suffix (e.g. 120s); default 1 round",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=0,
+        help="fault schedules are a pure function of (seed, round)",
+    )
+    chaos.add_argument(
+        "--root", type=pathlib.Path, default=None, metavar="DIR",
+        help="artifact directory for plans, fault journals and report.json "
+             "(default: a fresh temp directory, path printed on exit)",
+    )
+    chaos.add_argument(
+        "--batch", type=int, default=8, metavar="N",
+        help="fuzz-derived specs per round (default: 8)",
+    )
+    chaos.add_argument(
+        "--jobs", type=int, default=2, metavar="N",
+        help="parallel-runner worker processes (default: 2)",
+    )
+    chaos.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="campaign-server worker processes (default: 2)",
+    )
+    chaos.add_argument(
+        "--json", action="store_true",
+        help="print the full campaign report as JSON",
     )
 
     campaign = sub.add_parser(
@@ -348,6 +396,36 @@ def _cmd_list(_: argparse.Namespace) -> int:
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
+    if getattr(args, "server", None):
+        from repro.service.client import ServiceClient, ServiceError
+
+        if args.action == "clear":
+            print(
+                "error: `cache clear --server` is not supported: clearing "
+                "a live server's store would race in-flight submissions",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            stats = ServiceClient(args.server).stats()
+        except (ServiceError, OSError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        if getattr(args, "json", False):
+            print(json.dumps(stats, indent=2, sort_keys=True))
+            return 0
+        server_stats = stats.get("server", {})
+        store_stats = stats.get("store") or {}
+        print(f"server at {args.server}:")
+        for key in sorted(server_stats):
+            print(f"  {key}: {server_stats[key]}")
+        if store_stats:
+            print(
+                f"  store: {store_stats.get('entries', 0)} entries, "
+                f"{store_stats.get('bytes', 0)} bytes "
+                f"({store_stats.get('backend', '?')})"
+            )
+        return 0
     store = _make_store(args)
     if store is None:
         print(
@@ -372,8 +450,22 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import logging
+    import signal
 
     from repro.service.server import CampaignServer
+
+    # The scheduler announces degrade/recover transitions (process pool →
+    # thread fallback and back) through this logger, once per transition.
+    # Give it a stderr handler unless the host app configured logging.
+    service_logger = logging.getLogger("repro.service")
+    if not service_logger.handlers and not logging.getLogger().handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("[repro serve] %(levelname)s: %(message)s")
+        )
+        service_logger.addHandler(handler)
+        service_logger.setLevel(logging.INFO)
 
     store = _make_store(args)
     if store is None:
@@ -393,6 +485,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     async def main() -> None:
         await server.start()
+        # SIGTERM/SIGINT request a graceful stop: the listener closes,
+        # in-flight connections drain (their specs finish and are
+        # journaled to the store), then the worker pool joins.
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, server.request_stop)
+            except (NotImplementedError, RuntimeError):
+                pass  # Non-Unix loop: fall back to KeyboardInterrupt.
         store_note = (
             f"store {store.path} ({store.backend})"
             if store is not None
@@ -411,6 +512,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     try:
         asyncio.run(main())
+        print("[repro serve] stopped (drained)", file=sys.stderr)
     except KeyboardInterrupt:
         print("[repro serve] stopped", file=sys.stderr)
     return 0
@@ -554,6 +656,76 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults.chaos import run_chaos
+
+    budget_text = str(args.budget).strip().lower()
+    try:
+        if budget_text.endswith("s"):
+            seconds: Optional[float] = float(budget_text[:-1])
+            rounds: Optional[int] = None
+        else:
+            seconds = None
+            rounds = int(budget_text)
+        if (rounds is not None and rounds <= 0) or (
+            seconds is not None and seconds <= 0
+        ):
+            raise ValueError("budget must be positive")
+    except ValueError:
+        print(
+            f"error: invalid --budget {args.budget!r}: expected a positive "
+            "round count (e.g. 3) or wall-clock seconds with an 's' "
+            "suffix (e.g. 120s)",
+            file=sys.stderr,
+        )
+        return 2
+    report = run_chaos(
+        seed=args.seed,
+        rounds=rounds,
+        seconds=seconds,
+        root=str(args.root) if args.root else None,
+        batch=args.batch,
+        jobs=args.jobs,
+        workers=args.workers,
+        progress=lambda line: print(f"[chaos] {line}", file=sys.stderr),
+    )
+    if getattr(args, "json", False):
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0 if report.ok else 1
+    kinds = ", ".join(sorted(report.kinds_fired)) or "none"
+    print(
+        f"chaos seed={report.seed}: {report.rounds} round(s), "
+        f"{report.specs_checked} spec-result(s) checked in "
+        f"{report.elapsed_seconds:.1f}s"
+    )
+    print(
+        f"  faults: {report.faults_fired}/{report.faults_planned} fired "
+        f"({kinds})"
+    )
+    if report.ok:
+        print(
+            "  verdict: OK — every result bit-identical to the fault-free "
+            "baseline, zero lost or duplicated specs"
+        )
+    else:
+        print(
+            f"  verdict: FAIL — {len(report.mismatches)} mismatch(es), "
+            f"{report.lost} lost, {len(report.unfired)} unfired fault(s), "
+            f"{len(report.errors)} harness error(s)"
+        )
+        for mismatch in report.mismatches[:5]:
+            print(
+                f"    mismatch r{mismatch['round']}[{mismatch['index']}] "
+                f"{mismatch['phase']}: {mismatch['spec']}"
+            )
+        for event_id in report.unfired[:10]:
+            print(f"    unfired: {event_id}")
+        for error in report.errors[:5]:
+            print(f"    error: {error}")
+    print(f"  artifacts: {report.root}")
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "table2": _cmd_table2,
@@ -565,6 +737,7 @@ _COMMANDS = {
     "campaign": _cmd_campaign,
     "fuzz": _cmd_fuzz,
     "conformance": _cmd_conformance,
+    "chaos": _cmd_chaos,
 }
 
 

@@ -23,3 +23,21 @@ class QueueFullError(ReproError):
 
 class SimulationError(ReproError):
     """The simulator reached an inconsistent state."""
+
+
+class SpecTimeout(ReproError):
+    """A scheduled spec blew its per-spec computation deadline."""
+
+
+class ServiceDisconnected(ReproError):
+    """The campaign service connection dropped mid-stream.
+
+    Carries ``completed``: the spec indices whose results arrived before
+    the cut, so a resuming client resubmits only the incomplete ones
+    (idempotent — content-keyed dedup plus the warm store make a
+    resubmitted finished spec a cheap cache hit).
+    """
+
+    def __init__(self, message: str, completed=None) -> None:
+        super().__init__(message)
+        self.completed = dict(completed) if completed else {}

@@ -1,0 +1,60 @@
+"""Seeded, deterministic fault injection (``repro.faults``).
+
+Three import-light modules make up the framework proper:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan` / :class:`FaultEvent`, the
+  seeded, serializable fault schedule;
+* :mod:`repro.faults.injector` — installation, env gating, exactly-once
+  claims, the journal, and the per-seam enactment helpers;
+* :mod:`repro.faults.retry` — the bounded backoff policies the hardened
+  seams share.
+
+The chaos harness lives in :mod:`repro.faults.chaos` and is *not* imported
+here: it pulls in the whole service stack, while this package must stay
+importable from :mod:`repro.api.store` and :mod:`repro.api.runner` (the
+injection hooks) without creating an import cycle.
+"""
+
+from repro.faults.injector import (
+    FAULT_DIR_ENV,
+    FaultInjector,
+    active_injector,
+    install_plan,
+    probe,
+    spec_fault_key,
+    suppress_faults,
+    uninstall_plan,
+)
+from repro.faults.plan import (
+    FAULT_KINDS,
+    KEYED_KINDS,
+    FaultEvent,
+    FaultPlan,
+    generate_plan,
+)
+from repro.faults.retry import (
+    COMPUTE_POLICY,
+    RECONNECT_POLICY,
+    STORE_WRITE_POLICY,
+    RetryPolicy,
+)
+
+__all__ = [
+    "FAULT_DIR_ENV",
+    "FAULT_KINDS",
+    "KEYED_KINDS",
+    "COMPUTE_POLICY",
+    "RECONNECT_POLICY",
+    "STORE_WRITE_POLICY",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "RetryPolicy",
+    "active_injector",
+    "generate_plan",
+    "install_plan",
+    "probe",
+    "spec_fault_key",
+    "suppress_faults",
+    "uninstall_plan",
+]

@@ -1,0 +1,100 @@
+"""Bounded retry with exponential backoff and jitter.
+
+One policy object serves every transient-failure seam: store writes racing
+an injected ENOSPC or a real sqlite BUSY, the scheduler recomputing after
+pool breakage, and the client reconnecting after a dropped stream.  The
+policy is pure arithmetic — callers own the sleep (``time.sleep`` in
+synchronous code, ``asyncio.sleep`` in the scheduler) so the same schedule
+works on both sides of the event loop.
+
+Jitter decorrelates concurrent retriers (classic thundering-herd
+avoidance).  It deliberately does **not** need to be deterministic for the
+chaos harness's bit-identical guarantee: backoff timing influences *when*
+work happens, never *what* is computed — results are pinned by the spec
+seed, and the differential oracle checks exactly that.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import time
+from typing import Callable, Optional, Tuple, Type
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """``attempts`` total tries; sleep ``delay(n)`` between try n and n+1."""
+
+    attempts: int = 4
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.25  # Fraction of the delay added uniformly at random.
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ConfigurationError("retry policy needs at least 1 attempt")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ConfigurationError("retry delays must be non-negative")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError("retry jitter must be in [0, 1]")
+
+    def delay(self, attempt: int, rng: Optional[random.Random] = None) -> float:
+        """Sleep before retry number ``attempt`` (1-based: the delay after
+        the first failure is ``delay(1)``)."""
+        base = min(
+            self.max_delay, self.base_delay * (self.multiplier ** (attempt - 1))
+        )
+        if self.jitter <= 0.0 or base <= 0.0:
+            return base
+        draw = (rng or random).random()
+        return base * (1.0 + self.jitter * draw)
+
+    def call(
+        self,
+        func: Callable,
+        *args,
+        retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+        on_retry: Optional[Callable[[int, BaseException], None]] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        **kwargs,
+    ):
+        """Run ``func`` under this policy (synchronous callers).
+
+        Retries only exceptions matching ``retry_on``; the last failure
+        propagates unchanged once attempts are exhausted.  ``on_retry``
+        observes each failed attempt (for counters/logging).
+        """
+        last: Optional[BaseException] = None
+        for attempt in range(1, self.attempts + 1):
+            try:
+                return func(*args, **kwargs)
+            except retry_on as exc:
+                last = exc
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                if attempt < self.attempts:
+                    sleep(self.delay(attempt))
+        assert last is not None
+        raise last
+
+
+#: Store writes: fast, tight retries — write races are sub-millisecond.
+STORE_WRITE_POLICY = RetryPolicy(
+    attempts=5, base_delay=0.02, multiplier=2.0, max_delay=0.5
+)
+
+#: Scheduler recompute after pool breakage / timeout: fewer, slower tries
+#: (each retry re-runs a whole simulation).
+COMPUTE_POLICY = RetryPolicy(
+    attempts=3, base_delay=0.1, multiplier=2.0, max_delay=1.0
+)
+
+#: Client reconnect after a dropped stream: patient — the server may be
+#: rebuilding a process pool.
+RECONNECT_POLICY = RetryPolicy(
+    attempts=5, base_delay=0.2, multiplier=2.0, max_delay=3.0
+)

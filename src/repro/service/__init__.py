@@ -19,6 +19,7 @@ recomputation.
   spec batches, submitted in-process or to a running server.
 """
 
+from repro.common.errors import ServiceDisconnected
 from repro.service.campaign import Campaign, expand_campaign, load_campaign
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.scheduler import SpecOutcome, SpecScheduler
@@ -28,6 +29,7 @@ __all__ = [
     "Campaign",
     "CampaignServer",
     "ServiceClient",
+    "ServiceDisconnected",
     "ServiceError",
     "SpecOutcome",
     "SpecScheduler",

@@ -14,6 +14,14 @@ third-party dependencies.  It offers three altitudes:
   if any spec errored.
 * :meth:`health` / :meth:`stats` / :meth:`shutdown_server` — control.
 
+A dropped or truncated stream raises
+:class:`~repro.common.errors.ServiceDisconnected` (carrying the events
+that did arrive) from :meth:`submit`; :meth:`run_specs` catches it and
+**reconnects**, resubmitting only the specs whose results never arrived.
+Resubmission is idempotent: the server's content-keyed dedup plus the warm
+store turn an already-finished spec into a cache hit, so a resumed
+campaign neither loses nor recomputes completed work.
+
 The client is stateless between calls (one connection per request), so one
 instance can be shared freely across threads.
 """
@@ -22,10 +30,13 @@ from __future__ import annotations
 
 import json
 import socket
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+import time
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.api.results import ResultSet, RunRecord
 from repro.api.spec import RunSpec
+from repro.common.errors import ServiceDisconnected
+from repro.faults.retry import RECONNECT_POLICY, RetryPolicy
 from repro.system.results import RunResult
 
 
@@ -153,6 +164,12 @@ class ServiceClient:
 
         ``results=False`` asks the server to omit result payloads — the
         cheap mode for dedup/stats probes over large batches.
+
+        A connection cut mid-stream — a truncated NDJSON line, an
+        unparseable record, or a transport error — raises
+        :class:`~repro.common.errors.ServiceDisconnected` whose
+        ``completed`` dict maps batch index → the ``spec`` events that
+        *did* arrive, so callers can resume with just the rest.
         """
         body = json.dumps(
             {
@@ -167,45 +184,124 @@ class ServiceClient:
             raise ServiceError(
                 f"HTTP {status} from {self.address}: {detail[:200]}"
             )
+        completed: Dict[int, Dict[str, object]] = {}
         try:
-            for line in stream:
-                line = line.strip()
-                if not line:
+            for raw in stream:
+                stripped = raw.strip()
+                if not stripped:
                     continue
-                yield json.loads(line)
+                if not raw.endswith(b"\n"):
+                    # EOF landed mid-record: the server (or the wire) died
+                    # while writing this line.
+                    raise ServiceDisconnected(
+                        f"connection to {self.address} dropped mid-stream "
+                        f"(truncated NDJSON record)",
+                        completed=completed,
+                    )
+                try:
+                    event = json.loads(stripped)
+                except ValueError:
+                    raise ServiceDisconnected(
+                        f"connection to {self.address} dropped mid-stream "
+                        f"(unparseable NDJSON record)",
+                        completed=completed,
+                    ) from None
+                if event.get("event") == "spec":
+                    completed[int(event["index"])] = event
+                yield event
+        except OSError as error:
+            raise ServiceDisconnected(
+                f"connection to {self.address} dropped mid-stream: {error}",
+                completed=completed,
+            ) from None
         finally:
             stream.close()
 
-    def run_specs(self, specs: Iterable[RunSpec]) -> ResultSet:
+    def run_specs(
+        self,
+        specs: Iterable[RunSpec],
+        reconnect: bool = True,
+        reconnect_policy: RetryPolicy = RECONNECT_POLICY,
+    ) -> ResultSet:
         """Run a batch on the server; results in spec order, bit-identical
-        to local execution of the same specs."""
+        to local execution of the same specs.
+
+        When the stream drops mid-campaign (``reconnect=True``, the
+        default) the client reconnects with backoff and resubmits **only
+        the incomplete specs** — completed results are kept, and the
+        server answers resubmitted-but-finished specs from its warm store
+        (idempotent resume).  ``reconnect=False`` restores the old
+        fail-fast behaviour."""
         spec_list = list(specs)
         outcomes: List[Optional[RunResult]] = [None] * len(spec_list)
-        errors: List[str] = []
+        errors: Dict[int, str] = {}
+        remaining = list(range(len(spec_list)))
+        attempt = 0
+        while True:
+            attempt += 1
+            remap = list(remaining)
+            disconnect: Optional[ServiceDisconnected] = None
+            done = False
+            try:
+                done = self._collect_events(
+                    spec_list, remap, outcomes, errors
+                )
+            except ServiceDisconnected as error:
+                disconnect = error
+            remaining = [
+                index
+                for index in remaining
+                if outcomes[index] is None and index not in errors
+            ]
+            if disconnect is None and errors:
+                raise ServiceError(
+                    f"{len(errors)} spec(s) failed on the server:\n  "
+                    + "\n  ".join(errors[index] for index in sorted(errors))
+                )
+            if disconnect is None and done and not remaining:
+                return ResultSet(
+                    RunRecord(spec, result)
+                    for spec, result in zip(spec_list, outcomes)
+                )
+            # Dropped mid-stream, or the stream ended cleanly but short:
+            # reconnect and resume with just the incomplete specs.
+            if not reconnect or attempt >= reconnect_policy.attempts:
+                detail = (
+                    str(disconnect)
+                    if disconnect is not None
+                    else "server stopped or connection dropped mid-campaign"
+                )
+                raise ServiceError(
+                    f"incomplete result stream from {self.address} after "
+                    f"{attempt} attempt(s), {len(remaining)} spec(s) "
+                    f"unresolved: {detail}"
+                )
+            time.sleep(reconnect_policy.delay(attempt))
+
+    def _collect_events(
+        self,
+        spec_list: Sequence[RunSpec],
+        remap: Sequence[int],
+        outcomes: List[Optional[RunResult]],
+        errors: Dict[int, str],
+    ) -> bool:
+        """Stream one (re)submission of ``[spec_list[i] for i in remap]``,
+        folding events into ``outcomes``/``errors`` under the *original*
+        indices as they arrive — so a disconnect loses nothing already
+        received.  Returns True when the ``done`` event arrived."""
         done = False
-        for event in self.submit(spec_list, results=True):
+        for event in self.submit(
+            [spec_list[index] for index in remap], results=True
+        ):
             if event.get("event") != "spec":
                 done = done or event.get("event") == "done"
                 continue
-            index = event["index"]
+            index = remap[int(event["index"])]
             if event["status"] == "error":
-                errors.append(
+                errors[index] = (
                     f"spec {index} "
                     f"({spec_list[index].describe()}): {event['error']}"
                 )
             else:
                 outcomes[index] = RunResult.from_dict(event["result"])
-        if errors:
-            raise ServiceError(
-                f"{len(errors)} spec(s) failed on the server:\n  "
-                + "\n  ".join(errors)
-            )
-        if not done or any(result is None for result in outcomes):
-            raise ServiceError(
-                f"incomplete result stream from {self.address} "
-                "(server stopped or connection dropped mid-campaign)"
-            )
-        return ResultSet(
-            RunRecord(spec, result)
-            for spec, result in zip(spec_list, outcomes)
-        )
+        return done

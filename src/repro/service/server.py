@@ -38,12 +38,14 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import socket
 import threading
-from typing import Dict, Optional
+from typing import Dict, Optional, Set
 
 from repro.api.spec import RunSpec
 from repro.api.store import ResultStore
+from repro.faults.injector import active_injector, probe
 
 from repro.service.scheduler import SpecOutcome, SpecScheduler
 
@@ -77,6 +79,7 @@ class CampaignServer:
         self.socket_path = str(socket_path) if socket_path else None
         self._server: Optional[asyncio.AbstractServer] = None
         self._stop_event: Optional[asyncio.Event] = None
+        self._connections: Set[asyncio.Task] = set()
 
     # ------------------------------------------------------------ lifecycle
 
@@ -103,14 +106,29 @@ class CampaignServer:
             if sockets:
                 self.port = sockets[0].getsockname()[1]
 
-    async def stop(self) -> None:
+    async def stop(self, drain_timeout: float = 30.0) -> None:
+        """Graceful teardown: stop accepting, let in-flight connections
+        finish streaming (bounded by ``drain_timeout``), join the worker
+        pool so no fork worker is orphaned, release the store, and unlink
+        the Unix socket."""
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-        self.scheduler.shutdown()
+        pending = {task for task in self._connections if not task.done()}
+        if pending:
+            await asyncio.wait(pending, timeout=drain_timeout)
+            for task in pending:
+                if not task.done():
+                    task.cancel()
+        self.scheduler.shutdown(wait=True)
         if self.store is not None:
             self.store.close()
+        if self.socket_path is not None:
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
 
     async def serve_forever(self) -> None:
         """Start, run until :meth:`request_stop` (or POST /shutdown), then
@@ -172,6 +190,9 @@ class CampaignServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        task = asyncio.current_task()
+        if task is not None:  # Tracked so stop() can drain streams.
+            self._connections.add(task)
         try:
             request = await self._read_request(reader)
             if request is None:
@@ -181,11 +202,17 @@ class CampaignServer:
                 return
             method, path, body = request
             if method == "GET" and path == "/health":
+                # "degraded" is informational, not fatal: the scheduler is
+                # on its thread fallback (slower, still correct) and will
+                # try a fresh process pool after its cooldown.
                 await self._respond_json(
                     writer,
                     200,
                     {"ok": True, "service": "repro",
-                     "version": PROTOCOL_VERSION},
+                     "version": PROTOCOL_VERSION,
+                     "status": (
+                         "degraded" if self.scheduler.degraded else "ok"
+                     )},
                 )
             elif method == "GET" and path == "/stats":
                 await self._respond_json(writer, 200, self._stats())
@@ -201,6 +228,8 @@ class CampaignServer:
         except (ConnectionResetError, BrokenPipeError, asyncio.TimeoutError):
             pass  # Client went away; nothing to answer.
         finally:
+            if task is not None:
+                self._connections.discard(task)
             try:
                 # Fork-pool workers inherit this connection's fd, so merely
                 # closing our copy would never FIN the stream (the workers'
@@ -243,9 +272,13 @@ class CampaignServer:
             return None
 
     def _stats(self) -> Dict[str, object]:
+        injector = active_injector()
         return {
             "server": self.scheduler.stats(),
             "store": self.store.stats() if self.store is not None else None,
+            # Fault-injection visibility: None in normal operation, the
+            # plan/fired summary while a chaos plan is installed.
+            "faults": injector.summary() if injector is not None else None,
         }
 
     # ------------------------------------------------------------- routing
@@ -343,9 +376,20 @@ class CampaignServer:
     async def _write_line(
         self, writer: asyncio.StreamWriter, event: Dict[str, object]
     ) -> None:
-        writer.write(
-            (json.dumps(event, sort_keys=True) + "\n").encode()
-        )
+        payload = json.dumps(event, sort_keys=True) + "\n"
+        fault = probe("server.stream")
+        if fault is not None and fault.kind == "server_disconnect":
+            # Cut the connection mid-line: flush a newline-less prefix so
+            # the client sees a truncated NDJSON record, then let the
+            # connection teardown (SHUT_WR in _handle_connection) deliver
+            # the EOF.  The spec events this stream never carried are
+            # recomputed idempotently when the client reconnects.
+            writer.write(payload[: max(1, len(payload) // 2)].encode())
+            await writer.drain()
+            raise ConnectionResetError(
+                "injected fault: connection dropped mid-stream"
+            )
+        writer.write(payload.encode())
         await writer.drain()
 
     async def _respond_json(

@@ -43,6 +43,7 @@ from repro.api.cache import RunnerCache
 from repro.api.runner import ParallelRunner, execute_spec
 from repro.api.spec import RunSpec
 from repro.api.store import ResultStore
+from repro.faults.injector import suppress_faults
 from repro.system.results import RunResult
 
 #: The reference leg every other leg is diffed against.
@@ -346,31 +347,40 @@ class DifferentialOracle:
 
     def check(self, spec: RunSpec) -> Optional[Mismatch]:
         """Run the cross-product; None when every leg agrees, otherwise the
-        shrunken mismatch against the reference leg."""
-        digests, results = self._all_legs(spec)
-        reference = digests[REFERENCE_LEG]
-        for leg, digest in digests.items():
-            if digest == reference:
-                continue
-            divergence = ""
-            if leg in results and REFERENCE_LEG in results:
-                divergence = first_divergence(
-                    results[REFERENCE_LEG], results[leg]
+        shrunken mismatch against the reference leg.
+
+        Every leg (and the shrinker's probes) runs under
+        :func:`~repro.faults.injector.suppress_faults`: when a chaos plan
+        is installed, the oracle's reference computations must stay
+        fault-free — otherwise a mismatch could be an artefact of an
+        injected fault in a *leg* rather than a bug under test."""
+        with suppress_faults():
+            digests, results = self._all_legs(spec)
+            reference = digests[REFERENCE_LEG]
+            for leg, digest in digests.items():
+                if digest == reference:
+                    continue
+                divergence = ""
+                if leg in results and REFERENCE_LEG in results:
+                    divergence = first_divergence(
+                        results[REFERENCE_LEG], results[leg]
+                    )
+                shrunk, probes = self._shrink(
+                    spec,
+                    self._leg_runner(REFERENCE_LEG),
+                    self._leg_runner(leg),
                 )
-            shrunk, probes = self._shrink(
-                spec, self._leg_runner(REFERENCE_LEG), self._leg_runner(leg)
-            )
-            return Mismatch(
-                spec=spec,
-                leg_a=REFERENCE_LEG,
-                leg_b=leg,
-                digest_a=reference,
-                digest_b=digest,
-                divergence=divergence,
-                shrunk_spec=shrunk,
-                shrink_probes=probes,
-            )
-        return None
+                return Mismatch(
+                    spec=spec,
+                    leg_a=REFERENCE_LEG,
+                    leg_b=leg,
+                    digest_a=reference,
+                    digest_b=digest,
+                    divergence=divergence,
+                    shrunk_spec=shrunk,
+                    shrink_probes=probes,
+                )
+            return None
 
     def check_all(self, specs: List[RunSpec]) -> List[Mismatch]:
         mismatches = []

@@ -1,0 +1,421 @@
+"""The resilience layer end-to-end: scheduler deadlines/retries and the
+degrade→recover state machine, client disconnect/reconnect semantics,
+health/stats surfacing, graceful signal shutdown of ``repro serve``, and
+one full chaos round as an integration check."""
+
+import asyncio
+import dataclasses
+import json
+import logging
+import os
+import pathlib
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro import cli
+from repro.api import (
+    ExperimentSettings,
+    ResultStore,
+    SerialRunner,
+    spec_grid,
+)
+from repro.common.errors import ServiceDisconnected, SpecTimeout
+from repro.faults import (
+    FaultEvent,
+    FaultPlan,
+    generate_plan,
+    install_plan,
+    spec_fault_key,
+    uninstall_plan,
+)
+from repro.service import CampaignServer, ServiceClient, ServiceError
+from repro.service.scheduler import SpecScheduler
+from repro.system.config import SystemConfig
+
+TINY = ExperimentSettings(num_instructions=1500, seed=11)
+
+GRID = spec_grid(
+    ["astar", "mcf"],
+    ["memleak", "addrcheck"],
+    [SystemConfig()],
+    TINY,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_injector():
+    uninstall_plan()
+    yield
+    uninstall_plan()
+
+
+def run_async(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestSchedulerDeadlines:
+    def test_hang_times_out_and_retry_recovers(self):
+        # The victim hangs past the deadline once; the retry (the fault is
+        # claimed, so it cannot refire) computes the correct result.
+        install_plan(FaultPlan(
+            events=(FaultEvent(
+                "e0", "worker_hang", "worker",
+                key=spec_fault_key(GRID[0]), param=0.4,
+            ),),
+            seed=0,
+        ))
+        scheduler = SpecScheduler(use_processes=False, spec_timeout=0.25)
+
+        async def main():
+            return await scheduler.execute(GRID[0])
+
+        outcome = run_async(main())
+        scheduler.shutdown()
+        reference = SerialRunner().run(GRID[:1])
+        assert outcome.result.to_dict() == (
+            reference.records[0].result.to_dict()
+        )
+        stats = scheduler.stats()
+        assert stats["timeouts"] >= 1
+        assert stats["retries"] >= 1
+
+    def test_deadline_exhaustion_raises_spec_timeout(self):
+        # Every attempt blows the deadline -> SpecTimeout reaches the
+        # caller and the error is counted.
+        from repro.faults import RetryPolicy
+
+        scheduler = SpecScheduler(
+            use_processes=False,
+            spec_timeout=0.01,
+            retry_policy=RetryPolicy(
+                attempts=2, base_delay=0.01, max_delay=0.01
+            ),
+        )
+        slow = GRID[0].replace(
+            settings=dataclasses.replace(TINY, num_instructions=400_000)
+        )
+
+        async def main():
+            return await scheduler.execute(slow)
+
+        with pytest.raises(SpecTimeout, match="deadline"):
+            run_async(main())
+        scheduler.shutdown()
+        stats = scheduler.stats()
+        assert stats["timeouts"] >= 2
+        assert stats["errors"] == 1
+
+
+class TestDegradeRecover:
+    def test_pool_broken_degrades_then_recovers(self, caplog):
+        install_plan(FaultPlan(
+            events=(FaultEvent(
+                "e0", "pool_broken", "scheduler.submit",
+                key=spec_fault_key(GRID[0]),
+            ),),
+            seed=0,
+        ))
+        scheduler = SpecScheduler(
+            use_processes=True, workers=1, pool_cooldown=0.2
+        )
+        reference = SerialRunner().run(GRID[:2])
+
+        async def first():
+            return await scheduler.execute(GRID[0])
+
+        with caplog.at_level(logging.WARNING, logger="repro.service"):
+            outcome = run_async(first())
+        assert outcome.result.to_dict() == (
+            reference.records[0].result.to_dict()
+        )
+        stats = scheduler.stats()
+        assert stats["degrades"] == 1
+        assert stats["faults_injected"] == 1
+        assert stats["degraded"] is True
+        assert stats["executor"] == "thread"
+        degrade_logs = [
+            record for record in caplog.records
+            if "scheduler degraded" in record.message
+        ]
+        assert len(degrade_logs) == 1  # the transition is logged once
+
+        time.sleep(0.25)  # let the recovery cooldown elapse
+
+        async def second():
+            return await scheduler.execute(GRID[1])
+
+        outcome = run_async(second())
+        scheduler.shutdown()
+        assert outcome.result.to_dict() == (
+            reference.records[1].result.to_dict()
+        )
+        stats = scheduler.stats()
+        assert stats["recoveries"] == 1
+        assert stats["degraded"] is False
+        assert stats["executor"] == "process"
+
+    def test_repeat_degrade_logs_once(self, caplog):
+        scheduler = SpecScheduler(use_processes=True, workers=1)
+        with caplog.at_level(logging.WARNING, logger="repro.service"):
+            scheduler._degrade_to_thread()
+            scheduler._degrade_to_thread()  # already on threads: no re-log
+        scheduler.shutdown()
+        degrade_logs = [
+            record for record in caplog.records
+            if "scheduler degraded" in record.message
+        ]
+        assert len(degrade_logs) == 1
+        assert scheduler.stats()["degrades"] == 1
+
+
+@pytest.fixture
+def server(tmp_path):
+    """A background campaign server on a Unix socket with a SQLite store
+    (thread scheduler: tests must not pay fork-pool startup)."""
+    store = ResultStore(tmp_path / "server.db")
+    instance = CampaignServer(
+        store=store,
+        socket_path=str(tmp_path / "server.sock"),
+        scheduler=SpecScheduler(store=store, use_processes=False),
+    )
+    address = instance.start_background()
+    yield instance, address
+    instance.stop_background()
+
+
+class TestClientDisconnect:
+    def _disconnect_plan(self, ordinal=1):
+        return FaultPlan(
+            events=(FaultEvent(
+                "e0", "server_disconnect", "server.stream", at=ordinal
+            ),),
+            seed=0,
+        )
+
+    def test_submit_raises_service_disconnected(self, server):
+        _, address = server
+        install_plan(self._disconnect_plan(ordinal=2))
+        client = ServiceClient(address)
+        with pytest.raises(ServiceDisconnected) as info:
+            list(client.submit(GRID))
+        # The exception carries what DID complete, keyed by batch index.
+        assert isinstance(info.value.completed, dict)
+        for index, event in info.value.completed.items():
+            assert 0 <= index < len(GRID)
+            assert event["event"] == "spec"
+
+    def test_run_specs_reconnects_and_resumes(self, server):
+        _, address = server
+        reference = SerialRunner().run(GRID)
+        install_plan(self._disconnect_plan(ordinal=2))
+        client = ServiceClient(address)
+        results = client.run_specs(GRID)
+        assert len(results.records) == len(GRID)
+        for got, want in zip(results.records, reference.records):
+            assert got.spec == want.spec
+            assert got.result.to_dict() == want.result.to_dict()
+        # The resume was idempotent: nothing was computed twice (the
+        # resubmitted prefix answered warm from the store).
+        stats = ServiceClient(address).stats()
+        assert stats["server"]["computed"] == len(GRID)
+
+    def test_reconnect_false_fails_fast(self, server):
+        _, address = server
+        install_plan(self._disconnect_plan(ordinal=1))
+        client = ServiceClient(address)
+        with pytest.raises(ServiceError, match="incomplete result stream"):
+            client.run_specs(GRID, reconnect=False)
+
+
+class TestHealthAndStats:
+    def test_health_reports_degraded(self, tmp_path):
+        store = ResultStore(tmp_path / "server.db")
+        scheduler = SpecScheduler(store=store, use_processes=True)
+        instance = CampaignServer(
+            store=store,
+            socket_path=str(tmp_path / "server.sock"),
+            scheduler=scheduler,
+        )
+        address = instance.start_background()
+        try:
+            client = ServiceClient(address)
+            assert client.health()["status"] == "ok"
+            scheduler._degrade_to_thread()
+            health = client.health()
+            assert health["ok"] is True  # degraded but serving
+            assert health["status"] == "degraded"
+        finally:
+            instance.stop_background()
+
+    def test_stats_expose_resilience_counters(self, server):
+        _, address = server
+        stats = ServiceClient(address).stats()
+        for counter in (
+            "retries", "timeouts", "faults_injected", "degrades",
+            "recoveries", "store_write_failures",
+        ):
+            assert counter in stats["server"]
+        assert stats["faults"] is None  # no plan installed
+
+    def test_stats_include_fault_summary_when_plan_active(self, server):
+        _, address = server
+        install_plan(FaultPlan(
+            events=(FaultEvent(
+                "e0", "server_disconnect", "server.stream", at=999
+            ),),
+            seed=0,
+        ))
+        stats = ServiceClient(address).stats()
+        assert stats["faults"]["planned"] == 1
+
+    def test_cache_stats_against_live_server(self, server, capsys):
+        _, address = server
+        status = cli.main(["cache", "stats", "--server", address, "--json"])
+        assert status == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "retries" in payload["server"]
+        assert "timeouts" in payload["server"]
+
+    def test_cache_clear_against_server_refused(self, server, capsys):
+        _, address = server
+        status = cli.main(["cache", "clear", "--server", address])
+        assert status == 2
+
+
+def _child_pids(pid):
+    children = []
+    for entry in pathlib.Path("/proc").iterdir():
+        if not entry.name.isdigit():
+            continue
+        try:
+            fields = (entry / "stat").read_text().rsplit(")", 1)[1].split()
+        except (OSError, IndexError):
+            continue
+        if int(fields[1]) == pid:  # field 4 of stat: ppid
+            children.append(int(entry.name))
+    return children
+
+
+def _wait_gone(pids, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        alive = [pid for pid in pids if pathlib.Path(f"/proc/{pid}").exists()]
+        if not alive:
+            return True
+        time.sleep(0.05)
+    return not alive
+
+
+@pytest.mark.parametrize("signum", [signal.SIGTERM, signal.SIGINT])
+class TestGracefulSignalShutdown:
+    def test_serve_drains_on_signal(self, tmp_path, signum):
+        socket_path = tmp_path / "serve.sock"
+        store_path = tmp_path / "store.db"
+        shm_before = set(os.listdir("/dev/shm")) if os.path.isdir(
+            "/dev/shm"
+        ) else set()
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(
+            pathlib.Path(__file__).resolve().parent.parent / "src"
+        )
+        env.pop("REPRO_FAULT_DIR", None)
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--socket", str(socket_path),
+                "--result-cache", str(store_path),
+                "--workers", "1",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+        )
+        try:
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline and not socket_path.exists():
+                assert process.poll() is None, process.stderr.read().decode()
+                time.sleep(0.05)
+            assert socket_path.exists(), "server never started listening"
+
+            # Submit a batch from a background thread, then signal the
+            # server while the stream is (likely still) in flight.  The
+            # drain must let the in-flight connection finish normally.
+            address = f"unix://{socket_path}"
+            received = {}
+
+            def submit():
+                try:
+                    received["results"] = ServiceClient(address).run_specs(
+                        GRID, reconnect=False
+                    )
+                except Exception as error:  # surfaced via assert below
+                    received["error"] = error
+
+            thread = threading.Thread(target=submit)
+            thread.start()
+            time.sleep(0.3)  # let the batch reach the server
+            workers = _child_pids(process.pid)
+            process.send_signal(signum)
+            stdout, stderr = process.communicate(timeout=60)
+            thread.join(timeout=60)
+
+            assert process.returncode == 0, stderr.decode()
+            assert b"stopped (drained)" in stderr
+            assert "error" not in received, repr(received.get("error"))
+            results = received["results"]
+            assert len(results.records) == len(GRID)
+
+            # In-flight work was journaled: the store holds every spec.
+            store = ResultStore(store_path)
+            assert store.stats()["entries"] == len(GRID)
+            store.close()
+
+            # The listener socket is unlinked, fork workers are gone, and
+            # no shared-memory segments leaked.
+            assert not socket_path.exists()
+            assert _wait_gone(workers), f"orphaned workers: {workers}"
+            if os.path.isdir("/dev/shm"):
+                deadline = time.monotonic() + 5.0
+                while time.monotonic() < deadline:
+                    leaked = set(os.listdir("/dev/shm")) - shm_before
+                    if not leaked:
+                        break
+                    time.sleep(0.1)
+                assert not leaked, f"leaked /dev/shm entries: {leaked}"
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+
+
+class TestChaosIntegration:
+    def test_one_round_is_clean_and_deterministic(self, tmp_path):
+        from repro.faults.chaos import run_chaos
+
+        report = run_chaos(
+            seed=3,
+            rounds=1,
+            root=str(tmp_path / "chaos"),
+            batch=4,
+            jobs=2,
+            workers=2,
+            spec_timeout=3.0,
+            pool_cooldown=0.5,
+            hang_seconds=1.0,
+            slow_seconds=0.1,
+        )
+        assert report.ok, report.to_dict()
+        assert report.faults_fired == report.faults_planned
+        assert len(report.kinds_fired) >= 6
+        assert (tmp_path / "chaos" / "report.json").exists()
+        # Fault schedules are a pure function of (seed, round): the same
+        # seed plans the identical event list.
+        plan_a = generate_plan(7, ["k0", "k1", "k2"], writes_expected=3)
+        plan_b = generate_plan(7, ["k0", "k1", "k2"], writes_expected=3)
+        assert plan_a == plan_b
