@@ -1,0 +1,48 @@
+"""Crash-safe execution: simulator checkpoints and resumable runs.
+
+The snapshot/restore protocol itself lives on the components — every
+stateful object on the timing path exposes ``capture_state``/
+``restore_state``, composed by
+:meth:`repro.system.simulator.MonitoringSimulation.snapshot` /
+``restore`` (see DESIGN.md §11).  This package owns everything *around*
+those states:
+
+* :mod:`~repro.checkpoint.state` — versioned, content-hashed blob
+  encoding (anything invalid degrades to a cold recompute);
+* :mod:`~repro.checkpoint.store` — the on-disk store (result-store
+  backends, one live checkpoint per spec key, GC);
+* :mod:`~repro.checkpoint.journal` — the cross-process lifecycle journal
+  that witnesses resumes and feeds the counters;
+* :mod:`~repro.checkpoint.runtime` — environment-gated discovery so pool
+  workers (fork *and* spawn) checkpoint and resume without plumbing.
+"""
+
+from repro.checkpoint.journal import CheckpointJournal
+from repro.checkpoint.runtime import (
+    CHECKPOINT_EVERY_ENV,
+    CHECKPOINT_STORE_ENV,
+    active_checkpoint_runtime,
+    install_checkpoint_runtime,
+    uninstall_checkpoint_runtime,
+)
+from repro.checkpoint.state import (
+    CHECKPOINT_SCHEMA_VERSION,
+    decode_checkpoint,
+    decode_meta,
+    encode_checkpoint,
+)
+from repro.checkpoint.store import CheckpointStore
+
+__all__ = [
+    "CHECKPOINT_EVERY_ENV",
+    "CHECKPOINT_SCHEMA_VERSION",
+    "CHECKPOINT_STORE_ENV",
+    "CheckpointJournal",
+    "CheckpointStore",
+    "active_checkpoint_runtime",
+    "decode_checkpoint",
+    "decode_meta",
+    "encode_checkpoint",
+    "install_checkpoint_runtime",
+    "uninstall_checkpoint_runtime",
+]

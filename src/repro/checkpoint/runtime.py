@@ -1,0 +1,72 @@
+"""Process-tree checkpoint configuration, discovered through environment.
+
+Mirrors the fault injector's ``$REPRO_FAULT_DIR`` pattern
+(:mod:`repro.faults.injector`): :func:`install_checkpoint_runtime` exports
+``$REPRO_CHECKPOINT_STORE`` / ``$REPRO_CHECKPOINT_EVERY``, and every
+:func:`~repro.api.runner.execute_spec` call — in this process, a forked
+pool worker, or a spawn-started one — discovers them lazily through
+:func:`active_checkpoint_runtime`.  That is what lets the parallel
+runner's pool-rebuild retry path and the service scheduler's re-submits
+resume from checkpoints without threading store handles across process
+boundaries: the killed worker's checkpoints live on disk, and its
+replacement finds the same store by path.
+
+The discovered store is cached per (path, pid): a forked child re-opens
+its own backend connection instead of sharing the parent's SQLite handle.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Tuple
+
+from repro.checkpoint.store import CheckpointStore
+
+#: Environment variable naming the checkpoint store path/URL.
+CHECKPOINT_STORE_ENV = "REPRO_CHECKPOINT_STORE"
+#: Environment variable holding the checkpoint interval in instructions.
+CHECKPOINT_EVERY_ENV = "REPRO_CHECKPOINT_EVERY"
+
+_CACHED: Optional[Tuple[str, int, CheckpointStore]] = None
+
+
+def install_checkpoint_runtime(
+    store_path: os.PathLike, every_instructions: int
+) -> CheckpointStore:
+    """Enable checkpointing for this process and every worker under it."""
+    global _CACHED
+    store = CheckpointStore(store_path)
+    os.environ[CHECKPOINT_STORE_ENV] = os.fspath(store_path)
+    os.environ[CHECKPOINT_EVERY_ENV] = str(int(every_instructions))
+    _CACHED = (os.fspath(store_path), os.getpid(), store)
+    return store
+
+
+def uninstall_checkpoint_runtime() -> None:
+    """Disable checkpointing (the environment gate and the cache)."""
+    global _CACHED
+    os.environ.pop(CHECKPOINT_STORE_ENV, None)
+    os.environ.pop(CHECKPOINT_EVERY_ENV, None)
+    _CACHED = None
+
+
+def active_checkpoint_runtime() -> Optional[Tuple[CheckpointStore, int]]:
+    """``(store, every_instructions)`` when checkpointing is enabled for
+    this process tree, else None.  Cheap when disabled: two environment
+    reads."""
+    global _CACHED
+    path = os.environ.get(CHECKPOINT_STORE_ENV)
+    if not path:
+        return None
+    try:
+        every = int(os.environ.get(CHECKPOINT_EVERY_ENV, "0"))
+    except ValueError:
+        return None
+    if every <= 0:
+        return None
+    cached = _CACHED
+    if cached is not None and cached[0] == path and cached[1] == os.getpid():
+        return cached[2], every
+    store = CheckpointStore(path)
+    _CACHED = (path, os.getpid(), store)
+    return store, every

@@ -1,0 +1,116 @@
+"""Versioned, content-hashed checkpoint blobs.
+
+A checkpoint payload is a JSON envelope around a pickled
+:meth:`~repro.system.simulator.MonitoringSimulation.snapshot` dict:
+
+* ``schema`` — :data:`CHECKPOINT_SCHEMA_VERSION`; any layout change bumps
+  it and retires every existing checkpoint (they decode as invalid and
+  degrade to cold recomputes, never errors);
+* ``key`` — the spec's :func:`~repro.api.store.content_key`, so a blob can
+  never be restored into a different spec's simulation;
+* ``state_hash`` — SHA-256 of the pickled state, verified on decode, so a
+  torn or bit-rotted blob reads as invalid rather than restoring garbage;
+* ``app_index`` / ``cycle`` / ``engine`` — cheap progress metadata for
+  ``repro checkpoint ls|inspect`` without unpickling the state.
+
+Pickle (protocol 4) is the state serialisation because snapshot payloads
+contain monitor state (sets, tuples-keyed dicts, enum values) that JSON
+cannot represent; base64 wraps it into the JSON envelope so checkpoint
+entries ride the same text backends as result-store entries.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import hashlib
+import json
+import pickle
+from typing import Optional
+
+#: On-disk checkpoint schema version.  Bump on any change to the envelope
+#: *or* to what simulations snapshot (see also
+#: :data:`repro.system.simulator.SIM_STATE_VERSION`, which guards the inner
+#: state layout independently).
+CHECKPOINT_SCHEMA_VERSION = 1
+
+
+def state_hash(blob: bytes) -> str:
+    """Content hash of a pickled snapshot (the torn-write detector)."""
+    return hashlib.sha256(blob).hexdigest()
+
+
+def encode_checkpoint(key: str, sim_state: dict) -> str:
+    """Serialize one snapshot into its JSON envelope payload."""
+    blob = pickle.dumps(sim_state, protocol=4)
+    return json.dumps(
+        {
+            "schema": CHECKPOINT_SCHEMA_VERSION,
+            "key": key,
+            "engine": sim_state.get("engine"),
+            "app_index": sim_state.get("app_index"),
+            "cycle": sim_state.get("now"),
+            "state_hash": state_hash(blob),
+            "blob": base64.b64encode(blob).decode("ascii"),
+        },
+        sort_keys=True,
+    )
+
+
+def decode_meta(payload: str) -> Optional[dict]:
+    """The envelope's metadata (no unpickling), or None when the payload is
+    not even valid JSON with the current schema.  The state hash is *not*
+    verified here — use :func:`decode_checkpoint` before restoring."""
+    try:
+        record = json.loads(payload)
+        if record.get("schema") != CHECKPOINT_SCHEMA_VERSION:
+            return None
+        return {
+            "key": record["key"],
+            "engine": record.get("engine"),
+            "app_index": record.get("app_index"),
+            "cycle": record.get("cycle"),
+            "state_hash": record["state_hash"],
+        }
+    except (ValueError, TypeError, KeyError):
+        return None
+
+
+def decode_checkpoint(payload: str, key: Optional[str] = None) -> Optional[dict]:
+    """Decode and fully validate one checkpoint payload.
+
+    Returns ``{"state", "app_index", "cycle", "engine", "state_hash"}`` or
+    None for *anything* invalid — wrong schema, wrong key, torn base64,
+    hash mismatch, unpicklable state.  Callers treat None as a cold
+    recompute; a checkpoint is an optimisation, never a correctness
+    dependency.
+    """
+    try:
+        record = json.loads(payload)
+    except (ValueError, TypeError):
+        return None
+    if not isinstance(record, dict):
+        return None
+    if record.get("schema") != CHECKPOINT_SCHEMA_VERSION:
+        return None
+    if key is not None and record.get("key") != key:
+        return None
+    try:
+        blob = base64.b64decode(record["blob"], validate=True)
+    except (KeyError, TypeError, ValueError, binascii.Error):
+        return None
+    if state_hash(blob) != record.get("state_hash"):
+        return None
+    try:
+        state = pickle.loads(blob)
+    except Exception:  # Unpickling torn/hostile data fails arbitrarily.
+        return None
+    if not isinstance(state, dict):
+        return None
+    return {
+        "state": state,
+        "app_index": record.get("app_index"),
+        "cycle": record.get("cycle"),
+        "engine": record.get("engine"),
+        "state_hash": record["state_hash"],
+    }

@@ -108,6 +108,29 @@ class ShadowMemory:
         """Copy of the non-default contents (for equivalence tests)."""
         return dict(self._bytes)
 
+    # --------------------------------------------------- checkpoint protocol
+
+    def capture_state(self) -> dict:
+        """Serializable mid-run state (distinct from :meth:`snapshot`, the
+        older contents-only view used by equivalence tests)."""
+        return {
+            "bytes": dict(self._bytes),
+            "generation": self.generation,
+            "word_generations": dict(self.word_generations),
+            "bulk_epoch": self.bulk_epoch,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`capture_state`, mutating *in place*: the
+        ``word_generations`` dict's identity is stable (the filter memo
+        holds a direct reference)."""
+        self._bytes.clear()
+        self._bytes.update(state["bytes"])
+        self.generation = state["generation"]
+        self.word_generations.clear()
+        self.word_generations.update(state["word_generations"])
+        self.bulk_epoch = state["bulk_epoch"]
+
     def __len__(self) -> int:
         return len(self._bytes)
 
@@ -151,3 +174,20 @@ class ShadowRegisters:
 
     def snapshot(self) -> Tuple[int, ...]:
         return tuple(self._bytes)
+
+    # --------------------------------------------------- checkpoint protocol
+
+    def capture_state(self) -> dict:
+        """Serializable mid-run state (see :class:`ShadowMemory`)."""
+        return {
+            "bytes": list(self._bytes),
+            "generation": self.generation,
+            "generations": list(self.generations),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`capture_state`; slice-assigns so the hoisted
+        list identities survive."""
+        self._bytes[:] = state["bytes"]
+        self.generation = state["generation"]
+        self.generations[:] = state["generations"]

@@ -22,6 +22,7 @@ state, so they converge regardless of mode.
 from __future__ import annotations
 
 import abc
+import copy
 import dataclasses
 import enum
 from typing import List, Optional
@@ -189,6 +190,45 @@ class Monitor(abc.ABC):
         """(inv_id, value) pairs to reprogram in FADE's INV RF for this
         high-level event (AtomCheck's per-thread access tags)."""
         return []
+
+    # --------------------------------------------------- checkpoint protocol
+
+    #: Instance attributes the base class owns; everything else in
+    #: ``__dict__`` is subclass state and is captured generically (the five
+    #: paper monitors hold only plain dict/set/list/int state).
+    _BASE_STATE_ATTRS = frozenset(
+        {"costs", "critical_regs", "critical_mem", "reports", "current_thread"}
+    )
+
+    def capture_state(self) -> dict:
+        """Serializable mid-run state: the critical stores, bug reports,
+        thread id, and (deep-copied) subclass authoritative state.
+        ``costs`` is configuration, reconstructed from the spec."""
+        extra = {
+            name: value
+            for name, value in self.__dict__.items()
+            if name not in self._BASE_STATE_ATTRS
+        }
+        return {
+            "critical_regs": self.critical_regs.capture_state(),
+            "critical_mem": self.critical_mem.capture_state(),
+            "reports": list(self.reports),
+            "current_thread": self.current_thread,
+            "extra": copy.deepcopy(extra),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`capture_state`.  The critical stores restore
+        *in place* (FADE's pipeline holds direct references into them);
+        subclass state is deep-copied in so restoring the same state twice
+        never aliases."""
+        self.critical_regs.restore_state(state["critical_regs"])
+        self.critical_mem.restore_state(state["critical_mem"])
+        self.reports.clear()
+        self.reports.extend(state["reports"])
+        self.current_thread = state["current_thread"]
+        for name, value in copy.deepcopy(state["extra"]).items():
+            setattr(self, name, value)
 
     # ---------------------------------------------------------------- helpers
 

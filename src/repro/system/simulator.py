@@ -68,6 +68,11 @@ from repro.workload.trace import HighLevelEvent, Trace
 #: always additionally capped by ``SystemConfig.max_cycles``).
 _NEVER = 1 << 62
 
+#: Layout version of :meth:`MonitoringSimulation.snapshot` payloads.  Bump on
+#: any change to what is captured or how it is encoded; ``restore`` refuses
+#: mismatched versions (the checkpoint layer degrades that to a cold rerun).
+SIM_STATE_VERSION = 1
+
 
 class FusionStats:
     """Diagnostic telemetry of the event engine's burst draining.
@@ -454,6 +459,14 @@ class MonitoringSimulation:
         self._filterable_gap = 0
         self._current_burst = 0
         self._saw_unfiltered = False
+        # Checkpointing (off by default): ``_checkpoint_at`` is the next
+        # plan-item index at which to emit a checkpoint, so the engine loops
+        # pay one attribute load and integer compare while disabled.
+        self._checkpoint_at = _NEVER
+        self._checkpoint_thresholds: Sequence[int] = ()
+        self._checkpoint_position = 0
+        self._checkpoint_callback = None
+        self._restored = False
 
     # ------------------------------------------------------------------ run
 
@@ -518,7 +531,10 @@ class MonitoringSimulation:
         self.result.baseline_cycles = self._schedule[-1] - self._timed_started_at
 
     def run(self) -> RunResult:
-        self._run_warmup()
+        if not self._restored:
+            # A restored simulation resumes strictly after warmup: snapshots
+            # are only taken inside the timed region.
+            self._run_warmup()
         if self.config.engine == "naive":
             self._run_naive()
         else:
@@ -594,6 +610,8 @@ class MonitoringSimulation:
         while not done():
             if self._now >= max_cycles:
                 raise self._cycle_limit_error()
+            if self._app_index >= self._checkpoint_at:
+                self._emit_checkpoint()
             step()
 
     def _run_event(self) -> None:
@@ -623,6 +641,8 @@ class MonitoringSimulation:
             now = self._now
             if now >= max_cycles:
                 raise self._cycle_limit_error()
+            if self._app_index >= self._checkpoint_at:
+                self._emit_checkpoint()
             # Burst draining first: a fused window handles whole filtered
             # bursts, FADE-busy tails, starved stretches, backpressured
             # (blocked-application) phases and monitor-bound drain/wait
@@ -1559,6 +1579,259 @@ class MonitoringSimulation:
         if self._current_burst > 0:
             self.result.unfiltered_burst_sizes.append(self._current_burst)
             self._current_burst = 0
+
+    # --------------------------------------------------- checkpoint protocol
+
+    def configure_checkpoints(self, every_instructions: int, callback) -> None:
+        """Invoke ``callback(self)`` each time ``every_instructions`` timed
+        instructions have retired (measured from the end of warmup).
+
+        Thresholds are precomputed plan-item indices, so the engine loops
+        only compare ``_app_index`` against an integer per iteration; while
+        disabled that integer is ``_NEVER`` and the compare never fires.
+        Thresholds at or before the current ``_app_index`` are skipped, so
+        a restored simulation only emits checkpoints *beyond* the one it
+        resumed from.  The callback runs between engine iterations and must
+        not mutate simulation state (``snapshot`` does not)."""
+        if callback is None or every_instructions <= 0:
+            self._checkpoint_thresholds = ()
+            self._checkpoint_position = 0
+            self._checkpoint_callback = None
+            self._checkpoint_at = _NEVER
+            return
+        trace = self.trace
+        if isinstance(trace, PackedTrace):
+            kind_column = trace.column_lists()[6]
+            instruction_flags = [
+                kind == KIND_INSTRUCTION for kind in kind_column
+            ]
+        else:
+            items = trace.items
+            instruction_flags = [
+                isinstance(items[index], Instruction)
+                for index in range(len(items))
+            ]
+        thresholds: List[int] = []
+        seen = 0
+        mark = every_instructions
+        plan_len = self._plan_len
+        for index in range(self.warmup_items, plan_len):
+            if instruction_flags[index]:
+                seen += 1
+                if seen >= mark:
+                    # A checkpoint at the very end of the plan is useless
+                    # (the run completes immediately after); drop it.
+                    if index + 1 < plan_len:
+                        thresholds.append(index + 1)
+                    mark += every_instructions
+        position = 0
+        while position < len(thresholds) and thresholds[position] <= self._app_index:
+            position += 1
+        self._checkpoint_thresholds = tuple(thresholds)
+        self._checkpoint_position = position
+        self._checkpoint_callback = callback
+        self._checkpoint_at = (
+            thresholds[position] if position < len(thresholds) else _NEVER
+        )
+
+    def _emit_checkpoint(self) -> None:
+        """Fire the checkpoint callback once and arm the next threshold.
+
+        The event engine can jump several thresholds inside one fused
+        window; all of them collapse into the single checkpoint taken here
+        (checkpoints are periodic best-effort, not exact)."""
+        thresholds = self._checkpoint_thresholds
+        position = self._checkpoint_position
+        app_index = self._app_index
+        while position < len(thresholds) and thresholds[position] <= app_index:
+            position += 1
+        self._checkpoint_position = position
+        self._checkpoint_at = (
+            thresholds[position] if position < len(thresholds) else _NEVER
+        )
+        callback = self._checkpoint_callback
+        if callback is not None:
+            callback(self)
+
+    def timed_progress(self) -> float:
+        """Fraction of the timed (post-warmup) region already consumed —
+        the checkpoint hooks use it to gate progress-conditioned fault
+        injection (``worker_kill_midrun`` fires only past its threshold)."""
+        total = self._plan_len - self.warmup_items
+        if total <= 0:
+            return 1.0
+        return min(1.0, (self._app_index - self.warmup_items) / total)
+
+    @staticmethod
+    def _encode_item(item: Optional[_WorkItem]):
+        """Compact, payload-free encoding of one queue entry.
+
+        Instruction-event and stack-update payloads are immutable plan
+        entries, so only the plan index (== event sequence) travels with the
+        snapshot; high-level payloads have no plan-relative identity worth
+        preserving and are carried whole (they are small and immutable)."""
+        if item is None:
+            return None
+        if item.kind is _ItemKind.HIGH_LEVEL:
+            return (item.kind.value, item.payload, item.handler_kind.value)
+        return (item.kind.value, item.sequence, item.handler_kind.value)
+
+    def _decode_item(self, encoded) -> Optional[_WorkItem]:
+        """Inverse of :meth:`_encode_item`: rebuilds a fresh ``_WorkItem``
+        (queue entries are compared by value, never by identity)."""
+        if encoded is None:
+            return None
+        tag, reference, handler_value = encoded
+        handler_kind = HandlerKind(handler_value)
+        if tag == _ItemKind.HIGH_LEVEL.value:
+            return _WorkItem(_ItemKind.HIGH_LEVEL, reference, handler_kind)
+        plan_item = self._plan[reference]
+        return _WorkItem(_ItemKind(tag), plan_item.payload, handler_kind)
+
+    def snapshot(self) -> dict:
+        """Full mid-run state as a picklable plain-container dict.
+
+        Captures everything ``restore`` needs to finish the run with results
+        bit-identical to never having stopped: engine scalars, queue entries
+        and statistics, mid-run :class:`RunResult` counters, the monitor's
+        functional state and FADE's architectural state.  Pure caches (the
+        filter memo, chain caches, plan/event memos) are deliberately
+        excluded — they rebuild cold without affecting any result
+        (DESIGN.md §11)."""
+        result = self.result
+        split = self._split_queues
+        return {
+            "version": SIM_STATE_VERSION,
+            "engine": self.config.engine,
+            "now": self._now,
+            "app_index": self._app_index,
+            "progress_base": self._progress_base,
+            "progress_halves": self._progress_halves,
+            "app_blocked": self._app_blocked,
+            "timed_started_at": self._timed_started_at,
+            "monitor_item": self._encode_item(self._monitor_item),
+            "monitor_remaining": self._monitor_remaining,
+            "fade_ready_at": self._fade_ready_at,
+            "fade_wait_seq": self._fade_wait_seq,
+            "fade_draining": self._fade_draining,
+            "filterable_gap": self._filterable_gap,
+            "current_burst": self._current_burst,
+            "saw_unfiltered": self._saw_unfiltered,
+            "eq_entries": [self._encode_item(i) for i in self._eq_entries],
+            "eq_stats": self.event_queue.stats.capture_state(),
+            "wq_entries": (
+                [self._encode_item(i) for i in self._wq_entries] if split else None
+            ),
+            "wq_stats": self.work_queue.stats.capture_state() if split else None,
+            "monitor": self.monitor.capture_state(),
+            "fade": self.fade.capture_state() if self.fade is not None else None,
+            "result": {
+                "instructions": result.instructions,
+                "monitored_events": result.monitored_events,
+                "stack_update_events": result.stack_update_events,
+                "high_level_events": result.high_level_events,
+                "baseline_cycles": result.baseline_cycles,
+                "handler_instructions": {
+                    handler_class.value: cost
+                    for handler_class, cost in result.handler_instructions.items()
+                },
+                "handlers_executed": result.handlers_executed,
+                "unfiltered_distances": dict(result.unfiltered_distances),
+                "unfiltered_burst_sizes": list(result.unfiltered_burst_sizes),
+                "cycle_breakdown": result.cycle_breakdown.to_dict(),
+                "app_blocked_cycles": result.app_blocked_cycles,
+                "monitor_busy_cycles": result.monitor_busy_cycles,
+                "fade_drain_cycles": result.fade_drain_cycles,
+                "fade_wait_cycles": result.fade_wait_cycles,
+            },
+        }
+
+    def restore(self, state: dict) -> None:
+        """Resume a freshly-constructed simulation from a :meth:`snapshot`.
+
+        The simulation must have been built from the same spec (trace,
+        monitor, config, warmup) that produced the snapshot — the checkpoint
+        layer guarantees that by keying blobs on the spec's content key.
+        Every container restores *in place*: the hoisted hot-path references
+        (queue deques, histograms, the cycle breakdown, FADE's tables) keep
+        their identities.  Calling ``run`` afterwards skips warmup and
+        finishes the run."""
+        version = state.get("version")
+        if version != SIM_STATE_VERSION:
+            raise SimulationError(
+                f"snapshot version {version!r} does not match "
+                f"SIM_STATE_VERSION={SIM_STATE_VERSION}"
+            )
+        engine = state.get("engine")
+        if engine != self.config.engine:
+            raise SimulationError(
+                f"snapshot was taken by the {engine!r} engine; "
+                f"this simulation runs {self.config.engine!r}"
+            )
+        self._now = state["now"]
+        self._app_index = state["app_index"]
+        self._progress_base = state["progress_base"]
+        self._progress_halves = state["progress_halves"]
+        self._app_blocked = state["app_blocked"]
+        self._timed_started_at = state["timed_started_at"]
+        self._monitor_item = self._decode_item(state["monitor_item"])
+        self._monitor_remaining = state["monitor_remaining"]
+        self._fade_ready_at = state["fade_ready_at"]
+        self._fade_wait_seq = state["fade_wait_seq"]
+        self._fade_draining = state["fade_draining"]
+        self._filterable_gap = state["filterable_gap"]
+        self._current_burst = state["current_burst"]
+        self._saw_unfiltered = state["saw_unfiltered"]
+        eq_entries = self._eq_entries
+        eq_entries.clear()
+        eq_entries.extend(self._decode_item(entry) for entry in state["eq_entries"])
+        self.event_queue.stats.restore_state(state["eq_stats"])
+        if self._split_queues:
+            wq_entries = self._wq_entries
+            wq_entries.clear()
+            wq_entries.extend(
+                self._decode_item(entry) for entry in state["wq_entries"]
+            )
+            self.work_queue.stats.restore_state(state["wq_stats"])
+        self.monitor.restore_state(state["monitor"])
+        if self.fade is not None and state["fade"] is not None:
+            self.fade.restore_state(state["fade"])
+        payload = state["result"]
+        result = self.result
+        result.instructions = payload["instructions"]
+        result.monitored_events = payload["monitored_events"]
+        result.stack_update_events = payload["stack_update_events"]
+        result.high_level_events = payload["high_level_events"]
+        result.baseline_cycles = payload["baseline_cycles"]
+        result.handler_instructions.clear()
+        result.handler_instructions.update(
+            (HandlerClass(name), cost)
+            for name, cost in payload["handler_instructions"].items()
+        )
+        result.handlers_executed = payload["handlers_executed"]
+        result.unfiltered_distances.clear()
+        result.unfiltered_distances.update(payload["unfiltered_distances"])
+        result.unfiltered_burst_sizes[:] = payload["unfiltered_burst_sizes"]
+        breakdown_state = payload["cycle_breakdown"]
+        breakdown = self._breakdown
+        breakdown.app_idle = breakdown_state["app_idle"]
+        breakdown.monitor_idle = breakdown_state["monitor_idle"]
+        breakdown.both_busy = breakdown_state["both_busy"]
+        result.app_blocked_cycles = payload["app_blocked_cycles"]
+        result.monitor_busy_cycles = payload["monitor_busy_cycles"]
+        result.fade_drain_cycles = payload["fade_drain_cycles"]
+        result.fade_wait_cycles = payload["fade_wait_cycles"]
+        # Re-arm any configured checkpoint thresholds past the restored
+        # position (configure_checkpoints after restore does the same).
+        thresholds = self._checkpoint_thresholds
+        position = 0
+        while position < len(thresholds) and thresholds[position] <= self._app_index:
+            position += 1
+        self._checkpoint_position = position
+        self._checkpoint_at = (
+            thresholds[position] if position < len(thresholds) else _NEVER
+        )
+        self._restored = True
 
 
 def simulate(

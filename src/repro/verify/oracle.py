@@ -16,17 +16,19 @@ geometrically smaller instruction counts and reports the smallest spec that
 still disagrees, so the repro attached to a failing fuzz campaign is
 minutes — not hours — of single-stepping away from a root cause.
 
-Ten legs execute per spec: the four serial-cold engine × filter-mode
+Eleven legs execute per spec: the four serial-cold engine × filter-mode
 combinations (the naive engine ignores the filter memo by construction but
 runs under both settings anyway, so the forced-inline environment path
 cannot rot unnoticed), two store round-trips of the reference result (one
 per :class:`~repro.api.ResultStore` backend — sharded JSON and SQLite —
-so the store axis covers both persistence formats), and — in thorough
-mode — the four parallel-cold combinations.  The remaining
-corners of the product (warm round-trips of the non-reference legs) are
-implied: every leg must equal the reference byte-for-byte, and the store
-round-trip is a pure serialization identity, so one warm leg witnesses it
-for all.
+so the store axis covers both persistence formats), a **checkpointed**
+leg (run until the first mid-run checkpoint lands, abandon, resume from
+the blob, finish — the snapshot/restore round-trip must be bit-exact;
+included in ``--quick`` mode too), and — in thorough mode — the four
+parallel-cold combinations.  The remaining corners of the product (warm
+round-trips of the non-reference legs) are implied: every leg must equal
+the reference byte-for-byte, and the store round-trip is a pure
+serialization identity, so one warm leg witnesses it for all.
 """
 
 from __future__ import annotations
@@ -43,6 +45,7 @@ from repro.api.cache import RunnerCache
 from repro.api.runner import ParallelRunner, execute_spec
 from repro.api.spec import RunSpec
 from repro.api.store import ResultStore
+from repro.checkpoint import CheckpointStore
 from repro.faults.injector import suppress_faults
 from repro.system.results import RunResult
 
@@ -116,6 +119,27 @@ def forced_inline(active: bool):
             os.environ["REPRO_FORCE_INLINE_FADE"] = previous
 
 
+class _CheckpointAbort(Exception):
+    """Raised by the checkpointed leg to abandon a run right after its
+    first checkpoint write — an in-process stand-in for a worker crash,
+    leaving a valid blob behind for the resume half of the leg."""
+
+
+class _InterruptingStore:
+    """Checkpoint-store proxy that aborts execution after the first
+    successful ``put`` (everything else delegates unchanged)."""
+
+    def __init__(self, store: CheckpointStore) -> None:
+        self._store = store
+
+    def __getattr__(self, name: str):
+        return getattr(self._store, name)
+
+    def put(self, spec, state) -> None:
+        self._store.put(spec, state)
+        raise _CheckpointAbort
+
+
 @dataclasses.dataclass
 class Mismatch:
     """One confirmed differential disagreement, shrunk to a minimal spec."""
@@ -166,9 +190,15 @@ class DifferentialOracle:
     engine/filter/store product only — for unit tests and tight budgets.
     """
 
-    def __init__(self, thorough: bool = True, jobs: int = 2) -> None:
+    def __init__(
+        self,
+        thorough: bool = True,
+        jobs: int = 2,
+        checkpoint_every: Optional[int] = None,
+    ) -> None:
         self.thorough = thorough
         self.jobs = max(2, jobs)
+        self.checkpoint_every = checkpoint_every
         self._cache = RunnerCache()
 
     # ---------------------------------------------------------------- legs
@@ -181,6 +211,38 @@ class DifferentialOracle:
         )
         with forced_inline(inline):
             return execute_spec(leg_spec, self._cache)
+
+    def _checkpoint_result(self, spec: RunSpec) -> RunResult:
+        """The interrupted-and-resumed execution of ``spec``: run until the
+        first checkpoint lands, abandon the run, resume from the blob and
+        finish.  A spec too short to ever checkpoint just completes on the
+        first attempt — the leg then degenerates to a plain serial run."""
+        leg_spec = spec.replace(
+            config=dataclasses.replace(spec.config, engine="event")
+        )
+        every = self.checkpoint_every or max(
+            1, spec.settings.num_instructions // 3
+        )
+        with tempfile.TemporaryDirectory(prefix="repro-oracle-ckpt-") as tmp:
+            store = CheckpointStore(os.path.join(tmp, "ckpt"))
+            try:
+                try:
+                    return execute_spec(
+                        leg_spec,
+                        self._cache,
+                        checkpoint_every=every,
+                        checkpoint_store=_InterruptingStore(store),
+                    )
+                except _CheckpointAbort:
+                    pass
+                return execute_spec(
+                    leg_spec,
+                    self._cache,
+                    checkpoint_every=every,
+                    checkpoint_store=store,
+                )
+            finally:
+                store.close()
 
     def _leg_runner(self, leg: str) -> Callable[[RunSpec], str]:
         """A digest function for one leg name (used by the shrinker)."""
@@ -209,6 +271,12 @@ class DifferentialOracle:
                 return result_digest(warm)
 
             return run_warm
+        if leg.endswith("/ckpt"):
+
+            def run_ckpt(spec: RunSpec) -> str:
+                return result_digest(self._checkpoint_result(spec))
+
+            return run_ckpt
         if "/parallel/" in leg:
 
             def run_parallel(spec: RunSpec) -> str:
@@ -276,6 +344,13 @@ class DifferentialOracle:
                 else:
                     digests[leg] = result_digest(warm)
                     results[leg] = warm
+
+        # Checkpointed leg (quick mode included): crash-after-first-
+        # checkpoint, resume, finish — the snapshot/restore round-trip must
+        # reproduce the monolithic run byte-for-byte.
+        ckpt_result = self._checkpoint_result(spec)
+        digests["event/serial/memo/ckpt"] = result_digest(ckpt_result)
+        results["event/serial/memo/ckpt"] = ckpt_result
 
         if self.thorough:
             # Both engines share one pool per filter mode (two pools per
