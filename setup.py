@@ -1,5 +1,20 @@
 """Setup shim: enables legacy editable installs where the ``wheel`` package
-is unavailable (``pip install -e .`` needs bdist_wheel on old setuptools)."""
-from setuptools import setup
+is unavailable (``pip install -e .`` needs bdist_wheel on old setuptools).
 
-setup()
+The core package is pure-stdlib; NumPy is an *optional* extra that unlocks
+the ``engine="vector"`` column kernels (``pip install -e .[vector]``).
+Without it the vector engine degrades to the scalar event engine with a
+one-time RuntimeWarning — see :mod:`repro.kernels`.
+"""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.9",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.8",
+    extras_require={
+        "vector": ["numpy"],
+    },
+)

@@ -137,7 +137,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--profile-sim", action="store_true",
         help="run the command under cProfile and print the top-20 "
-             "cumulative entries (place before the subcommand)",
+             "cumulative entries, plus per-kernel timing buckets when "
+             "the vector engine ran (place before the subcommand)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -148,6 +149,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--topology", default="single", choices=sorted(_TOPOLOGIES))
     run.add_argument("--no-fade", action="store_true", help="unaccelerated system")
     run.add_argument("--blocking", action="store_true", help="disable Non-Blocking")
+    run.add_argument(
+        "--engine", default="event", choices=("naive", "event", "vector"),
+        help="simulation engine: naive reference stepper, event-driven "
+             "(default), or the NumPy column-kernel tier (falls back to "
+             "event when NumPy is unavailable)",
+    )
     run.add_argument("-n", "--instructions", type=int, default=20_000)
     run.add_argument("--seed", type=int, default=7)
     run.add_argument("--warmup", type=float, default=0.5)
@@ -445,6 +452,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         topology=_TOPOLOGIES[args.topology],
         fade_enabled=not args.no_fade,
         non_blocking=not args.blocking,
+        engine=args.engine,
     )
     spec = RunSpec(args.benchmark, args.monitor, config, settings)
     results = SerialRunner(store=_make_store(args)).run([spec])
@@ -988,6 +996,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             profiler.disable()
             stats = pstats.Stats(profiler, stream=sys.stderr)
             stats.sort_stats("cumulative").print_stats(20)
+            from repro.kernels import format_kernel_report
+
+            report = format_kernel_report()
+            if report is not None:
+                print(report, file=sys.stderr)
         return status
     return command(args)
 

@@ -1,0 +1,119 @@
+"""NumPy column kernels behind the ``engine="vector"`` tier.
+
+The vector engine is the event engine plus batched column kernels for its
+three dominant loops (see DESIGN.md §12): filtered-event runs inside fused
+drain windows (:mod:`repro.kernels.predict`), retirement-march crossing
+horizons (:mod:`repro.kernels.march`), and bulk stat reductions
+(:mod:`repro.kernels.stats`), over derived per-plan key columns
+(:mod:`repro.kernels.columns`).
+
+NumPy is an *optional* extra (``pip install -e .[vector]``): importing
+``repro`` — or this package — never hard-requires it.  When it is missing
+(or disabled via ``REPRO_DISABLE_NUMPY=1``), ``engine="vector"`` degrades
+to the plain event engine with a one-time :class:`RuntimeWarning`,
+mirroring the runner's fork-unavailable warning; results are bit-identical
+either way, only slower.
+
+Per-kernel timing buckets are always collected (two ``perf_counter`` calls
+per *batch*, not per event): ``kernel_timings()`` feeds both
+``repro --profile-sim`` and the kernel-vs-boundary split recorded in
+``BENCH_perf.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import warnings
+from typing import Dict, Optional
+
+#: Cumulative seconds spent inside each kernel since the last reset.
+KERNEL_TIMERS: Dict[str, float] = {}
+#: Cumulative invocation / item counters (batch builds, replayed events,
+#: scalar fallbacks) since the last reset.
+KERNEL_COUNTERS: Dict[str, int] = {}
+
+_NUMPY_WARNING_EMITTED = False
+_numpy_module = None
+_numpy_checked = False
+
+
+def numpy_disabled() -> bool:
+    """True when ``REPRO_DISABLE_NUMPY`` forces the pure-Python paths (the
+    CI knob that proves the no-NumPy fallback stays bit-identical)."""
+    return os.environ.get("REPRO_DISABLE_NUMPY", "") not in ("", "0")
+
+
+def get_numpy(warn: bool = False):
+    """The ``numpy`` module, or None when unavailable or disabled.
+
+    With ``warn=True`` a missing NumPy emits a one-time RuntimeWarning —
+    callers pass it exactly where a user asked for ``engine="vector"`` and
+    is silently getting the scalar event engine instead.
+    """
+    global _numpy_module, _numpy_checked, _NUMPY_WARNING_EMITTED
+    if numpy_disabled():
+        # Honor the knob dynamically (tests flip it); never warn for it.
+        return None
+    if not _numpy_checked:
+        try:
+            import numpy  # noqa: F401 — optional dependency
+
+            _numpy_module = numpy
+        except ImportError:
+            _numpy_module = None
+        _numpy_checked = True
+    if _numpy_module is None and warn and not _NUMPY_WARNING_EMITTED:
+        _NUMPY_WARNING_EMITTED = True
+        warnings.warn(
+            "engine='vector' requires NumPy, which is not installed; "
+            "falling back to the scalar event engine (results are "
+            "bit-identical, only slower). Install the extra with "
+            "'pip install repro[vector]' to enable the column kernels.",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    return _numpy_module
+
+
+def timer_add(bucket: str, started: float) -> None:
+    """Accrue ``perf_counter() - started`` seconds into ``bucket``."""
+    KERNEL_TIMERS[bucket] = KERNEL_TIMERS.get(bucket, 0.0) + (
+        time.perf_counter() - started
+    )
+
+
+def counter_add(bucket: str, count: int = 1) -> None:
+    KERNEL_COUNTERS[bucket] = KERNEL_COUNTERS.get(bucket, 0) + count
+
+
+def reset_kernel_stats() -> None:
+    KERNEL_TIMERS.clear()
+    KERNEL_COUNTERS.clear()
+
+
+def kernel_timings() -> Dict[str, float]:
+    """Snapshot of the per-kernel cumulative seconds."""
+    return dict(KERNEL_TIMERS)
+
+
+def kernel_counters() -> Dict[str, int]:
+    return dict(KERNEL_COUNTERS)
+
+
+def format_kernel_report() -> Optional[str]:
+    """Human-readable per-kernel bucket report (``repro --profile-sim``);
+    None when no kernel ever ran."""
+    if not KERNEL_TIMERS and not KERNEL_COUNTERS:
+        return None
+    lines = ["vector kernel buckets:"]
+    for bucket in sorted(set(KERNEL_TIMERS) | set(KERNEL_COUNTERS)):
+        seconds = KERNEL_TIMERS.get(bucket)
+        count = KERNEL_COUNTERS.get(bucket)
+        parts = [f"  {bucket}:"]
+        if seconds is not None:
+            parts.append(f"{seconds * 1000.0:.2f} ms")
+        if count is not None:
+            parts.append(f"({count})")
+        lines.append(" ".join(parts))
+    return "\n".join(lines)

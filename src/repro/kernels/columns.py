@@ -1,0 +1,125 @@
+"""Derived per-plan key columns for the vector kernels.
+
+One :class:`PlanColumns` is built per :class:`~repro.system.simulator.
+DeliveryPlan` — a single Python pass over the plan items, lowered into flat
+int64 arrays — and cached *on the plan object*.  Plans are cached per
+(benchmark, settings, monitor) in :class:`~repro.api.cache.RunnerCache`,
+so the derived columns inherit that lifecycle: grid cells sharing a
+(benchmark, monitor) pay the column build once, and dropping the runner
+cache drops the columns with it.
+
+The columns are pure functions of the immutable plan payloads (event ids,
+operand registers, word addresses), never of run-time metadata — metadata
+values are gathered fresh per batch by :mod:`repro.kernels.predict`.
+"""
+
+from __future__ import annotations
+
+from repro.common.units import WORD_SIZE
+
+#: Sentinel for "operand absent" in the register / word / address columns.
+NONE_SENTINEL = -1
+
+
+class PlanColumns:
+    """Flat columns over a delivery plan's monitored instruction events.
+
+    ``seqs[i]`` is the plan index (== event sequence) of the i-th monitored
+    instruction event; the parallel arrays hold its static value-key inputs.
+    ``seq_list`` mirrors ``seqs`` as a plain list for bisect-free scalar
+    probing; ``next_deliverable`` maps any plan index to the next index
+    holding a deliverable (non-None) item — the march's queue-touching scan,
+    precomputed; ``deliverable_list`` is the ascending list of all
+    deliverable indices (the march crossing kernel batches over its runs).
+    """
+
+    __slots__ = (
+        "seqs",
+        "seq_list",
+        "event_ids",
+        "s1_regs",
+        "s2_regs",
+        "dest_regs",
+        "addrs",
+        "words",
+        "next_deliverable",
+        "deliverable_list",
+        "pure_instruction",
+    )
+
+    def __init__(self, np, plan_items) -> None:
+        from repro.system.simulator import _ItemKind
+
+        instruction_kind = _ItemKind.INSTRUCTION_EVENT
+        none = NONE_SENTINEL
+        seqs = []
+        event_ids = []
+        s1_regs = []
+        s2_regs = []
+        dest_regs = []
+        addrs = []
+        words = []
+        plan_len = len(plan_items)
+        # next_deliverable[i]: smallest j >= i with plan_items[j] not None
+        # (plan_len when none remains), filled right-to-left.
+        next_deliverable = [plan_len] * (plan_len + 1)
+        deliverable_list = []
+        pure = True
+        nxt = plan_len
+        for index in range(plan_len - 1, -1, -1):
+            item = plan_items[index]
+            if item is not None:
+                nxt = index
+                if item.kind is not instruction_kind:
+                    pure = False
+            next_deliverable[index] = nxt
+        for index, item in enumerate(plan_items):
+            if item is not None:
+                deliverable_list.append(index)
+        for index, item in enumerate(plan_items):
+            if item is None or item.kind is not instruction_kind:
+                continue
+            event = item.payload
+            seqs.append(index)
+            event_ids.append(event.event_id)
+            register = event.src1_reg
+            s1_regs.append(none if register is None else register)
+            register = event.src2_reg
+            s2_regs.append(none if register is None else register)
+            register = event.dest_reg
+            dest_regs.append(none if register is None else register)
+            addr = event.app_addr
+            if addr is None:
+                addrs.append(none)
+                words.append(none)
+            else:
+                addrs.append(addr)
+                words.append(addr - addr % WORD_SIZE)
+        int64 = np.int64
+        self.seqs = np.array(seqs, dtype=int64)
+        self.seq_list = seqs
+        self.event_ids = np.array(event_ids, dtype=int64)
+        self.s1_regs = np.array(s1_regs, dtype=int64)
+        self.s2_regs = np.array(s2_regs, dtype=int64)
+        self.dest_regs = np.array(dest_regs, dtype=int64)
+        self.addrs = addrs  # Plain list: consumed scalar-wise at replay.
+        self.words = np.array(words, dtype=int64)
+        self.next_deliverable = next_deliverable
+        self.deliverable_list = deliverable_list
+        self.pure_instruction = pure
+
+
+def plan_columns(np, plan) -> PlanColumns:
+    """The cached :class:`PlanColumns` of ``plan`` (built on first use)."""
+    columns = plan.vector_columns
+    if columns is None:
+        import time
+
+        from repro.kernels import counter_add, timer_add
+
+        started = time.perf_counter()
+        columns = PlanColumns(np, plan.items)
+        plan.vector_columns = columns
+        timer_add("columns.build", started)
+        counter_add("columns.builds")
+    return columns

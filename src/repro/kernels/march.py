@@ -1,0 +1,68 @@
+"""Vectorized retirement-march crossing horizons.
+
+The event engine finds, per deliverable plan item, the first cycle whose
+application progress ``base + halves * 0.5`` reaches the item's schedule
+target — a float-seeded, exactly-verified search run once per delivery.
+This kernel computes the same quantity for a whole run of upcoming targets
+at once, in *halves-space*:
+
+``crossing_halves(...)[j]`` is the smallest integer ``H`` with
+``base + H * 0.5 >= schedule[j]`` — evaluated with the identical float64
+expression the scalar verify loops use, so the result is bit-equal by
+construction.  ``H`` is independent of the current cycle, the accumulated
+halves *and* the per-cycle step (1 in SMT-shared cycles, 2 otherwise):
+progress only ever passes through values of that exact form, so the
+caller recovers the scalar engine's crossing cycle as::
+
+    k = max(1, ceil((H - halves) / step))      # pure integer math
+    crossing_cycle = cur + k - 1
+
+A batch therefore stays valid across fused windows and march segments for
+as long as ``base`` holds its value — ``base`` only changes on a
+backpressure freeze (re-anchoring progress at the blocked item) or a
+warmup/restore, and the cache is keyed on the exact float value, so reuse
+is sound by comparison, not by invalidation protocol.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.kernels import counter_add, timer_add
+
+#: Safety bound on the seed-correction sweeps; the float seed is within a
+#: couple of ulps of the verified answer, so 2–3 passes always converge.
+_MAX_CORRECTION_PASSES = 8
+
+
+def crossing_halves(np, targets, base: float):
+    """Smallest integer ``H`` per target with ``base + H * 0.5 >= target``.
+
+    ``targets`` is a float64 array (a schedule slice); returns an int64
+    array.  The verification condition is evaluated exactly as the scalar
+    engine writes it (one float multiply-by-half and one add per probe), so
+    every element matches the reference search loops bit for bit.
+    """
+    started = time.perf_counter()
+    # Seed: the same float estimate the scalar search starts from.
+    h = np.ceil((targets - base) * 2.0).astype(np.int64)
+    # Correct down: while the previous H still satisfies the condition.
+    for _ in range(_MAX_CORRECTION_PASSES):
+        mask = base + (h - 1) * 0.5 >= targets
+        if not mask.any():
+            break
+        h[mask] -= 1
+    else:  # pragma: no cover - float seeds never drift this far
+        raise AssertionError("crossing seed failed to converge downward")
+    # Correct up: while H itself does not yet satisfy it.
+    for _ in range(_MAX_CORRECTION_PASSES):
+        mask = base + h * 0.5 < targets
+        if not mask.any():
+            break
+        h[mask] += 1
+    else:  # pragma: no cover
+        raise AssertionError("crossing seed failed to converge upward")
+    timer_add("march.crossings", started)
+    counter_add("march.batches")
+    counter_add("march.targets", len(h))
+    return h

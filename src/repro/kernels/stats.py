@@ -1,0 +1,63 @@
+"""Bulk stat reductions for the vector tier.
+
+The event engine already accrues per-*cycle* statistics in spans; what the
+vector tier adds is per-*event* reductions over prediction batches — the
+aggregates that the scalar path accumulates one ``+=`` at a time — plus
+histogram merges used by the benchmark's vector leg.  All kernels take the
+``np`` module explicitly so this module imports cleanly without NumPy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+def batch_summary(np, predicted, mem_reads, base_cycles, comparisons) -> dict:
+    """Reductions over one prediction batch (diagnostics + the bench's
+    kernel-boundary split): how much of the batch the kernels resolved and
+    the work the replay loop will credit without re-deriving it."""
+    count = int(predicted.sum())
+    if count == 0:
+        return {
+            "predicted": 0,
+            "mem_reads": 0,
+            "base_cycles": 0,
+            "comparisons": 0,
+            "size": int(len(predicted)),
+        }
+    return {
+        "predicted": count,
+        "mem_reads": int(mem_reads[predicted].sum()),
+        "base_cycles": int(base_cycles[predicted].sum()),
+        "comparisons": int(comparisons[predicted].sum()),
+        "size": int(len(predicted)),
+    }
+
+
+def filtered_run_totals(np, base_cycles, comparisons, start: int, stop: int):
+    """(occupancy, comparisons) of a contiguous replayed run with no
+    MD-cache reads — the whole run's accrual as two reductions."""
+    window = slice(start, stop)
+    return (
+        int(base_cycles[window].sum()),
+        int(comparisons[window].sum()),
+    )
+
+
+def occupancy_spans(np, start_length: int, busys):
+    """Queue-occupancy histogram contributions of a dequeue run.
+
+    After the i-th dequeue of the run the queue sits at
+    ``start_length - (i + 1)`` entries for ``busys[i]`` cycles; returns the
+    parallel (occupancy, cycles) arrays for bulk histogram accrual.
+    """
+    n = len(busys)
+    lengths = start_length - 1 - np.arange(n, dtype=np.int64)
+    return lengths, busys
+
+
+def merge_histogram(hist: Dict[int, int], lengths, cycles) -> None:
+    """Accrue ``cycles[i]`` into ``hist[lengths[i]]`` (Counter-compatible)."""
+    for length, span in zip(lengths.tolist(), cycles.tolist()):
+        if span:
+            hist[length] += span

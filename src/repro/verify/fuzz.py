@@ -327,12 +327,17 @@ class WorkloadFuzzer:
             )
             if monitor is None:
                 monitor = rng.choice(MONITORS)
+            # The base engine for the case: mostly the event engine (the
+            # oracle re-runs every case through all engine legs anyway),
+            # occasionally the vector tier so its batching also faces the
+            # fuzzer's hostile queue shapes as the *reference* leg.
+            engine = rng.choice(["event", "event", "event", "vector"])
             try:
                 profile = BenchmarkProfile(name=name, **profile_fields)
                 spec = RunSpec(
                     benchmark=name,
                     monitor=monitor,
-                    config=SystemConfig(engine="event", **config),
+                    config=SystemConfig(engine=engine, **config),
                     settings=settings,
                     profile=profile,
                 )

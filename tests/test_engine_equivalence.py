@@ -1,11 +1,14 @@
-"""Bit-identity of the event-driven engine against the naive stepper.
+"""Bit-identity of the event and vector engines against the naive stepper.
 
 The event engine (``SystemConfig.engine="event"``, the default) must
 reproduce the reference one-cycle-per-iteration stepper *exactly* — the
 whole serialized :class:`RunResult`, including queue occupancy histograms,
 rejection counts, the cycle breakdown, FADE wait/drain counters and bug
 reports — because it only jumps across provably quiet intervals and runs
-every active cycle through the shared reference stepper.
+every active cycle through the shared reference stepper.  The vector
+engine layers batched NumPy prediction kernels on top of the event engine
+and must stay equally exact (it degrades to the event engine when NumPy
+is unavailable, so these tests pass either way).
 """
 
 import functools
@@ -31,11 +34,17 @@ def bench_for(monitor_name):
     return "water" if monitor_name == "atomcheck" else "astar"
 
 
-def run_both(monitor_name, benchmark, n=1500, seed=11, warmup=0.0, **config_kwargs):
+ENGINES = ("naive", "event", "vector")
+
+
+def run_engines(
+    monitor_name, benchmark, n=1500, seed=11, warmup=0.0,
+    engines=ENGINES, **config_kwargs
+):
     profile = get_profile(benchmark)
     trace = cached_trace(benchmark, n, seed)
     results = {}
-    for engine in ("naive", "event"):
+    for engine in engines:
         config = SystemConfig(engine=engine, **config_kwargs)
         monitor = create_monitor(monitor_name)
         if warmup:
@@ -45,6 +54,20 @@ def run_both(monitor_name, benchmark, n=1500, seed=11, warmup=0.0, **config_kwar
         else:
             result = simulate(trace, monitor, config, profile)
         results[engine] = result
+    return results
+
+
+def assert_engines_identical(results):
+    reference = results["naive"].to_dict()
+    for engine, result in results.items():
+        assert result.to_dict() == reference, f"engine {engine!r} diverges"
+
+
+def run_both(monitor_name, benchmark, **kwargs):
+    results = run_engines(monitor_name, benchmark, **kwargs)
+    assert results["vector"].to_dict() == results["event"].to_dict(), (
+        "vector engine diverges"
+    )
     return results["naive"], results["event"]
 
 
@@ -138,7 +161,8 @@ def test_force_inline_event_engine_matches(monkeypatch):
 
 def test_memo_unsafe_monitor_falls_back_to_inline(monkeypatch):
     """A monitor that declares ``filter_memo_safe = False`` runs the inline
-    per-event path (no fused windows), and stays bit-identical."""
+    per-event path (no fused windows, no vector predictor), and stays
+    bit-identical."""
     import repro.system.simulator as simulator_module
     from repro.monitors import create_monitor
     from repro.workload import generate_trace, get_profile
@@ -146,7 +170,7 @@ def test_memo_unsafe_monitor_falls_back_to_inline(monkeypatch):
     profile = get_profile("astar")
     trace = cached_trace("astar")
     results = {}
-    for engine in ("naive", "event"):
+    for engine in ENGINES:
         monitor = create_monitor("memcheck")
         monkeypatch.setattr(type(monitor), "filter_memo_safe", False)
         simulator_module.fusion_stats.reset()
@@ -157,6 +181,7 @@ def test_memo_unsafe_monitor_falls_back_to_inline(monkeypatch):
         assert simulator_module.fusion_stats.runs == 0
         results[engine] = result.to_dict()
     assert results["naive"] == results["event"]
+    assert results["naive"] == results["vector"]
 
 
 @pytest.mark.parametrize(
@@ -202,8 +227,8 @@ def test_engines_bit_identical_config_corners(config_kwargs):
 
 
 def test_engines_agree_on_cycle_limit():
-    """Both engines raise the cycle-limit error for the same configuration."""
-    for engine in ("naive", "event"):
+    """Every engine raises the cycle-limit error for the same configuration."""
+    for engine in ENGINES:
         config = SystemConfig(fade_enabled=False, max_cycles=50, engine=engine)
         with pytest.raises(SimulationError):
             simulate(
