@@ -27,9 +27,11 @@ from repro.checkpoint.runtime import (
 )
 from repro.checkpoint.state import (
     CHECKPOINT_SCHEMA_VERSION,
+    HEADER_READ_BYTES,
     decode_checkpoint,
     decode_meta,
     encode_checkpoint,
+    split_payload,
 )
 from repro.checkpoint.store import CheckpointStore
 
@@ -39,10 +41,12 @@ __all__ = [
     "CHECKPOINT_STORE_ENV",
     "CheckpointJournal",
     "CheckpointStore",
+    "HEADER_READ_BYTES",
     "active_checkpoint_runtime",
     "decode_checkpoint",
     "decode_meta",
     "encode_checkpoint",
     "install_checkpoint_runtime",
+    "split_payload",
     "uninstall_checkpoint_runtime",
 ]

@@ -1,22 +1,36 @@
 """Versioned, content-hashed checkpoint blobs.
 
-A checkpoint payload is a JSON envelope around a pickled
-:meth:`~repro.system.simulator.MonitoringSimulation.snapshot` dict:
+A checkpoint payload is two lines of text:
 
-* ``schema`` — :data:`CHECKPOINT_SCHEMA_VERSION`; any layout change bumps
-  it and retires every existing checkpoint (they decode as invalid and
-  degrade to cold recomputes, never errors);
-* ``key`` — the spec's :func:`~repro.api.store.content_key`, so a blob can
-  never be restored into a different spec's simulation;
-* ``state_hash`` — SHA-256 of the pickled state, verified on decode, so a
-  torn or bit-rotted blob reads as invalid rather than restoring garbage;
-* ``app_index`` / ``cycle`` / ``engine`` — cheap progress metadata for
-  ``repro checkpoint ls|inspect`` without unpickling the state.
+1. a compact JSON **header** — everything ``repro checkpoint ls`` needs,
+   readable without touching the (multi-MB) state:
+
+   * ``schema`` — :data:`CHECKPOINT_SCHEMA_VERSION`; any layout change
+     bumps it and retires every existing checkpoint (they decode as
+     invalid and degrade to cold recomputes, never errors);
+   * ``key`` — the blob's storage key (the spec's
+     :func:`~repro.api.store.content_key`, optionally suffixed with a
+     segment boundary), so a blob can never be restored into a different
+     spec's simulation;
+   * ``state_hash`` — SHA-256 of the pickled state, verified on full
+     decode, so a torn or bit-rotted blob reads as invalid rather than
+     restoring garbage;
+   * ``app_index`` / ``cycle`` / ``engine`` — cheap progress metadata;
+
+2. the base64 of the pickled
+   :meth:`~repro.system.simulator.MonitoringSimulation.snapshot` dict.
+
+The two-line split is what makes :func:`decode_meta` a *header-only*
+operation: backends read just the first :data:`HEADER_READ_BYTES` bytes
+(``read_prefix``) and listing a store of gigabyte blobs costs kilobytes.
+Version-1 payloads (a single JSON envelope embedding the blob) decode as
+invalid under this schema and are swept by ``get``/``gc`` — by design, a
+schema bump retires the cache rather than migrating it.
 
 Pickle (protocol 4) is the state serialisation because snapshot payloads
-contain monitor state (sets, tuples-keyed dicts, enum values) that JSON
-cannot represent; base64 wraps it into the JSON envelope so checkpoint
-entries ride the same text backends as result-store entries.
+contain monitor state (sets, tuple-keyed dicts, enum values) that JSON
+cannot represent; base64 keeps checkpoint entries riding the same text
+backends as result-store entries.
 """
 
 from __future__ import annotations
@@ -32,7 +46,12 @@ from typing import Optional
 #: *or* to what simulations snapshot (see also
 #: :data:`repro.system.simulator.SIM_STATE_VERSION`, which guards the inner
 #: state layout independently).
-CHECKPOINT_SCHEMA_VERSION = 1
+CHECKPOINT_SCHEMA_VERSION = 2
+
+#: How many leading bytes of a payload are guaranteed to contain the whole
+#: header line (including its newline).  Headers are a few hundred bytes —
+#: bounded key + hash + scalar metadata — so 4 KiB leaves generous slack.
+HEADER_READ_BYTES = 4096
 
 
 def state_hash(blob: bytes) -> str:
@@ -41,9 +60,9 @@ def state_hash(blob: bytes) -> str:
 
 
 def encode_checkpoint(key: str, sim_state: dict) -> str:
-    """Serialize one snapshot into its JSON envelope payload."""
+    """Serialize one snapshot into its two-line payload."""
     blob = pickle.dumps(sim_state, protocol=4)
-    return json.dumps(
+    header = json.dumps(
         {
             "schema": CHECKPOINT_SCHEMA_VERSION,
             "key": key,
@@ -51,18 +70,38 @@ def encode_checkpoint(key: str, sim_state: dict) -> str:
             "app_index": sim_state.get("app_index"),
             "cycle": sim_state.get("now"),
             "state_hash": state_hash(blob),
-            "blob": base64.b64encode(blob).decode("ascii"),
         },
         sort_keys=True,
+        separators=(",", ":"),
     )
+    return header + "\n" + base64.b64encode(blob).decode("ascii")
+
+
+def split_payload(payload: str) -> Optional[tuple]:
+    """``(header line, blob text)`` of a payload, or None when the payload
+    has no complete header line.  Works on a *prefix* of a payload as long
+    as the prefix reaches the first newline (see :data:`HEADER_READ_BYTES`)
+    — the blob text is then truncated, which only :func:`decode_checkpoint`
+    cares about."""
+    if not isinstance(payload, str) or "\n" not in payload:
+        return None
+    header, _, blob_text = payload.partition("\n")
+    return header, blob_text
 
 
 def decode_meta(payload: str) -> Optional[dict]:
-    """The envelope's metadata (no unpickling), or None when the payload is
-    not even valid JSON with the current schema.  The state hash is *not*
-    verified here — use :func:`decode_checkpoint` before restoring."""
+    """The header metadata (no blob read, no unpickling), or None when the
+    payload does not start with a valid current-schema header line.  Accepts
+    full payloads *and* ``read_prefix`` prefixes that cover the header.  The
+    state hash is *not* verified here — use :func:`decode_checkpoint` before
+    restoring."""
+    parts = split_payload(payload)
+    if parts is None:
+        return None
     try:
-        record = json.loads(payload)
+        record = json.loads(parts[0])
+        if not isinstance(record, dict):
+            return None
         if record.get("schema") != CHECKPOINT_SCHEMA_VERSION:
             return None
         return {
@@ -85,8 +124,12 @@ def decode_checkpoint(payload: str, key: Optional[str] = None) -> Optional[dict]
     recompute; a checkpoint is an optimisation, never a correctness
     dependency.
     """
+    parts = split_payload(payload)
+    if parts is None:
+        return None
+    header_line, blob_text = parts
     try:
-        record = json.loads(payload)
+        record = json.loads(header_line)
     except (ValueError, TypeError):
         return None
     if not isinstance(record, dict):
@@ -96,8 +139,8 @@ def decode_checkpoint(payload: str, key: Optional[str] = None) -> Optional[dict]
     if key is not None and record.get("key") != key:
         return None
     try:
-        blob = base64.b64decode(record["blob"], validate=True)
-    except (KeyError, TypeError, ValueError, binascii.Error):
+        blob = base64.b64decode(blob_text.strip(), validate=True)
+    except (TypeError, ValueError, binascii.Error):
         return None
     if state_hash(blob) != record.get("state_hash"):
         return None

@@ -217,17 +217,21 @@ class Monitor(abc.ABC):
             "extra": copy.deepcopy(extra),
         }
 
-    def restore_state(self, state: dict) -> None:
+    def restore_state(self, state: dict, owned: bool = False) -> None:
         """Inverse of :meth:`capture_state`.  The critical stores restore
         *in place* (FADE's pipeline holds direct references into them);
         subclass state is deep-copied in so restoring the same state twice
-        never aliases."""
+        never aliases.  ``owned=True`` skips that copy: the caller vouches
+        the state is exclusively theirs and restored at most once (true of
+        anything freshly unpickled from a checkpoint blob, where the copy
+        would only duplicate what pickle already materialised)."""
         self.critical_regs.restore_state(state["critical_regs"])
         self.critical_mem.restore_state(state["critical_mem"])
         self.reports.clear()
         self.reports.extend(state["reports"])
         self.current_thread = state["current_thread"]
-        for name, value in copy.deepcopy(state["extra"]).items():
+        extra = state["extra"] if owned else copy.deepcopy(state["extra"])
+        for name, value in extra.items():
             setattr(self, name, value)
 
     # ---------------------------------------------------------------- helpers

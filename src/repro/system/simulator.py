@@ -38,7 +38,7 @@ import math
 from bisect import bisect_left
 from collections import Counter
 from fractions import Fraction
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.common.errors import SimulationError
 from repro.cores.base import CORE_PARAMETERS
@@ -504,6 +504,10 @@ class MonitoringSimulation:
         self._checkpoint_thresholds: Sequence[int] = ()
         self._checkpoint_position = 0
         self._checkpoint_callback = None
+        # Segment stop boundary (``run_segment``): like ``_checkpoint_at``,
+        # a plan-item index compared once per engine iteration; ``_NEVER``
+        # while running monolithically.
+        self._stop_at = _NEVER
         self._restored = False
 
     # ------------------------------------------------------------------ run
@@ -579,6 +583,43 @@ class MonitoringSimulation:
             self._run_event()
         return self._finalize()
 
+    def run_segment(self, stop_at: Optional[int] = None) -> Optional[RunResult]:
+        """Run until the application has issued ``stop_at`` plan items, or
+        to completion.
+
+        ``stop_at`` is a plan-index boundary — the exact convention
+        checkpoint thresholds use — and the engine pauses at its first
+        top-of-loop observation of ``_app_index >= stop_at``, the same
+        program point a checkpoint callback fires at.  Fused windows may
+        overshoot the boundary before the check is reached; because the
+        engines are deterministic, the paused state is still a pure
+        function of (spec content, boundary), which is what lets seam
+        blobs be shared across runs and across segment counts.
+
+        Returns the finished :class:`RunResult` when the run completed
+        within this segment (the boundary can sit past the last plan item,
+        or a fused window can finish the run before the boundary check),
+        or ``None`` when paused at the boundary — ``snapshot()`` then
+        captures the seam state.  Cumulative statistics ride inside the
+        seam, so the *final* segment's result is already the stitched
+        whole-run result (see DESIGN.md §13).  A paused simulation must
+        not be finalized or resumed in place; build a fresh simulation and
+        ``restore`` the seam into it.
+        """
+        if not self._restored:
+            self._run_warmup()
+        self._stop_at = _NEVER if stop_at is None else stop_at
+        try:
+            if self.config.engine == "naive":
+                self._run_naive()
+            else:
+                self._run_event()
+        finally:
+            self._stop_at = _NEVER
+        if self._done():
+            return self._finalize()
+        return None
+
     def _finalize(self) -> RunResult:
         """Collect the finished run into its :class:`RunResult` (split out
         so benchmarks can time the engine loop in isolation)."""
@@ -652,6 +693,8 @@ class MonitoringSimulation:
                 raise self._cycle_limit_error()
             if self._app_index >= self._checkpoint_at:
                 self._emit_checkpoint()
+            if self._app_index >= self._stop_at:
+                return
             step()
 
     def _run_event(self) -> None:
@@ -683,6 +726,8 @@ class MonitoringSimulation:
                 raise self._cycle_limit_error()
             if self._app_index >= self._checkpoint_at:
                 self._emit_checkpoint()
+            if self._app_index >= self._stop_at:
+                return
             # Burst draining first: a fused window handles whole filtered
             # bursts, FADE-busy tails, starved stretches, backpressured
             # (blocked-application) phases and monitor-bound drain/wait
@@ -1765,18 +1810,7 @@ class MonitoringSimulation:
             self._checkpoint_callback = None
             self._checkpoint_at = _NEVER
             return
-        trace = self.trace
-        if isinstance(trace, PackedTrace):
-            kind_column = trace.column_lists()[6]
-            instruction_flags = [
-                kind == KIND_INSTRUCTION for kind in kind_column
-            ]
-        else:
-            items = trace.items
-            instruction_flags = [
-                isinstance(items[index], Instruction)
-                for index in range(len(items))
-            ]
+        instruction_flags = _instruction_flags(self.trace)
         thresholds: List[int] = []
         seen = 0
         mark = every_instructions
@@ -1916,7 +1950,7 @@ class MonitoringSimulation:
             },
         }
 
-    def restore(self, state: dict) -> None:
+    def restore(self, state: dict, owned: bool = False) -> None:
         """Resume a freshly-constructed simulation from a :meth:`snapshot`.
 
         The simulation must have been built from the same spec (trace,
@@ -1925,7 +1959,15 @@ class MonitoringSimulation:
         Every container restores *in place*: the hoisted hot-path references
         (queue deques, histograms, the cycle breakdown, FADE's tables) keep
         their identities.  Calling ``run`` afterwards skips warmup and
-        finishes the run."""
+        finishes the run.
+
+        ``owned=True`` lets the monitor adopt the state's subclass dict
+        without a defensive deep copy — correct only when the caller owns
+        the state exclusively and restores it at most once, which is true
+        of every state freshly unpickled from a checkpoint or seam blob
+        (the restore paths in :mod:`repro.api.runner` and
+        :mod:`repro.api.segments`).  In-memory snapshot/restore callers
+        that keep the snapshot alive must leave it False."""
         version = state.get("version")
         if version != SIM_STATE_VERSION:
             raise SimulationError(
@@ -1963,7 +2005,7 @@ class MonitoringSimulation:
                 self._decode_item(entry) for entry in state["wq_entries"]
             )
             self.work_queue.stats.restore_state(state["wq_stats"])
-        self.monitor.restore_state(state["monitor"])
+        self.monitor.restore_state(state["monitor"], owned=owned)
         if self.fade is not None and state["fade"] is not None:
             self.fade.restore_state(state["fade"])
         payload = state["result"]
@@ -2007,6 +2049,68 @@ class MonitoringSimulation:
             # predictions must be rebuilt from the restored state.
             self._vector.drop_batch()
         self._restored = True
+
+
+def _instruction_flags(trace) -> List[bool]:
+    """Per-plan-index "is a timed instruction" flags (shared by checkpoint
+    thresholds and segment boundaries, which must agree on the convention).
+    Packed traces answer with a column scan; object traces with an
+    isinstance pass — no materialisation either way."""
+    if isinstance(trace, PackedTrace):
+        kind_column = trace.column_lists()[6]
+        return [kind == KIND_INSTRUCTION for kind in kind_column]
+    items = trace.items
+    return [
+        isinstance(items[index], Instruction) for index in range(len(items))
+    ]
+
+
+def segment_boundaries(
+    trace, warmup_items: int, plan_len: int, segments: int
+) -> Tuple[int, ...]:
+    """Plan-index boundaries splitting the timed region into ``segments``
+    near-equal instruction spans.
+
+    Boundary *j* is the plan index just past the ``ceil(j·N/K)``-th timed
+    instruction (N timed instructions, K segments) — the same ``index + 1``
+    convention :meth:`MonitoringSimulation.configure_checkpoints` uses, so a
+    seam is observable at the exact engine-loop point a checkpoint would
+    fire.  Ceiling division makes boundary sets *nest*: K=2's midpoint is
+    K=4's second boundary, so seam blobs (keyed by boundary index) are
+    shared across segment counts.  Boundaries that would land at or past
+    the end of the plan are dropped, so ``segments`` larger than the trace
+    degrades gracefully to fewer (possibly zero) boundaries.
+    """
+    if segments <= 1 or plan_len <= 0:
+        return ()
+    total = trace.count_instructions(warmup_items, plan_len)
+    if total <= 0:
+        return ()
+    targets = []
+    for j in range(1, segments):
+        target = -(-(j * total) // segments)  # ceil(j*total/segments)
+        if target < total and (not targets or target != targets[-1]):
+            targets.append(target)
+    boundaries: List[int] = []
+    flags = _instruction_flags(trace)
+    seen = 0
+    position = 0
+    for index in range(warmup_items, plan_len):
+        if position >= len(targets):
+            break
+        if flags[index]:
+            seen += 1
+            while position < len(targets) and seen >= targets[position]:
+                if index + 1 < plan_len:
+                    boundaries.append(index + 1)
+                position += 1
+    # Collapse boundaries that coincide (several targets inside one
+    # non-instruction tail collapse onto the same plan index).
+    unique: List[int] = []
+    for boundary in boundaries:
+        if not unique or boundary != unique[-1]:
+            unique.append(boundary)
+    return tuple(unique)
 
 
 def simulate(

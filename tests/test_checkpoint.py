@@ -213,9 +213,12 @@ class TestInvalidBlobs:
     def test_stale_schema_is_a_miss(self, store):
         _abort_after_first_checkpoint(store)
         key = store.key(SPEC)
-        record = json.loads(store._backend.read(key))
-        record["schema"] = CHECKPOINT_SCHEMA_VERSION + 999
-        store._backend.write(key, json.dumps(record, sort_keys=True))
+        header_line, blob_text = store._backend.read(key).split("\n", 1)
+        header = json.loads(header_line)
+        header["schema"] = CHECKPOINT_SCHEMA_VERSION + 999
+        store._backend.write(
+            key, json.dumps(header, sort_keys=True) + "\n" + blob_text
+        )
         assert decode_meta(store._backend.read(key)) is None
         assert store.get(SPEC) is None
         self._assert_cold_recompute(store)
@@ -223,11 +226,14 @@ class TestInvalidBlobs:
     def test_tampered_state_fails_hash_check(self, store):
         _abort_after_first_checkpoint(store)
         key = store.key(SPEC)
-        record = json.loads(store._backend.read(key))
-        blob = bytearray(base64.b64decode(record["blob"]))
+        header_line, blob_text = store._backend.read(key).split("\n", 1)
+        blob = bytearray(base64.b64decode(blob_text))
         blob[len(blob) // 2] ^= 0xFF
-        record["blob"] = base64.b64encode(bytes(blob)).decode("ascii")
-        store._backend.write(key, json.dumps(record, sort_keys=True))
+        tampered = base64.b64encode(bytes(blob)).decode("ascii")
+        store._backend.write(key, header_line + "\n" + tampered)
+        # The header still decodes (listing stays cheap and optimistic) but
+        # the full restore path must reject the tampered state.
+        assert decode_meta(store._backend.read(key)) is not None
         assert store.get(SPEC) is None
         self._assert_cold_recompute(store)
 
